@@ -1,0 +1,52 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artifacts (Figures 1-4,
+Sec. 2 strategies, Sec. 5 recovery, the Sec. 4.2 counting threshold)
+as a printed report, and additionally times its core operation via
+pytest-benchmark.  Reports are printed to stdout (run with ``-s`` to
+see them live) and appended to ``benchmarks/results/report.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(title: str, lines: Iterable[str]) -> str:
+    """Print a titled report block and persist it to the results file."""
+    body = "\n".join(lines)
+    block = (
+        f"\n{'=' * 72}\n{title}\n{'-' * 72}\n{body}\n{'=' * 72}\n"
+    )
+    print(block)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, "report.txt"), "a",
+              encoding="utf-8") as handle:
+        handle.write(block)
+    return block
+
+
+def series_lines(header: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> List[str]:
+    """Format a small aligned table."""
+    widths = [max(len(str(header[i])),
+                  max((len(_fmt(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("  ".join(_fmt(v).rjust(w)
+                               for v, w in zip(row, widths)))
+    return lines
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-2 or abs(value) >= 1e4:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Algorithmic cooling: fresh ancillas without reset (paper Sec. 2).
+
+Ensemble machines cannot reset a qubit (reset = measure + flip), yet
+every fault-tolerant gadget consumes fresh |0> ancillas.  The paper
+points at algorithmic cooling [Schulman-Vazirani '99; Boykin et al.
+PNAS '02] as the substitute; this example runs both flavours and
+checks the quantum compression circuit against theory.
+
+Run:  python examples/algorithmic_cooling.py
+"""
+
+from repro.ensemble.cooling import (
+    ClosedSystemCooler,
+    HeatBathCooler,
+    compression_circuit,
+    compression_density_matrix_bias,
+    majority_bias,
+    shannon_bound_qubits,
+    simulate_compression,
+)
+
+
+def main() -> None:
+    print("=" * 64)
+    print("The 3-to-1 compression step (two CNOTs + one Toffoli)")
+    print("=" * 64)
+    circuit = compression_circuit()
+    print(f"circuit: {circuit.count_gates()}, ensemble-safe = "
+          f"{circuit.is_ensemble_safe()}")
+    eps = 0.2
+    print(f"theory:  bias {eps} -> {majority_bias(eps):.6f}")
+    print(f"density matrix:      -> "
+          f"{compression_density_matrix_bias([eps] * 3):.6f}")
+    print(f"Monte-Carlo (2e5):   -> "
+          f"{simulate_compression([eps] * 3, 200_000):.4f}")
+    print()
+
+    print("=" * 64)
+    print("Closed-system cooling (Schulman-Vazirani): exponential cost")
+    print("=" * 64)
+    cooler = ClosedSystemCooler(raw_bias=0.05)
+    print(f"{'rounds':>7} {'bias':>10} {'raw qubits':>11} "
+          f"{'Shannon bound':>14}")
+    for rounds in range(0, 9, 2):
+        rep = cooler.cool(rounds)
+        bound = shannon_bound_qubits(0.05, rep.final_bias)
+        print(f"{rounds:>7} {rep.final_bias:>10.5f} "
+              f"{rep.qubits_consumed:>11} {bound:>14.1f}")
+    print()
+
+    print("=" * 64)
+    print("Heat-bath cooling (PNAS '02): bath refreshes the hot bits")
+    print("=" * 64)
+    for bath in (0.1, 0.3, 0.5):
+        hb = HeatBathCooler(bath)
+        print(f"bath bias {bath}: ladder fixed point = "
+              f"{hb.fixed_point():.5f} "
+              f"(single compression would give "
+              f"{majority_bias(bath):.5f})")
+    print()
+    print("take-away: a 5%-polarised NMR sample can, without any")
+    print("measurement or reset, distill the near-pure ancillas the")
+    print("measurement-free gadgets of repro.ft consume.")
+
+
+if __name__ == "__main__":
+    main()

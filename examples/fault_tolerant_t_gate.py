@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""The measurement-free sigma_z^{1/4} pipeline (Figures 2 + 3).
+
+End-to-end reproduction of the paper's universality argument:
+
+1. prepare the special state |psi_0> via the Fig. 2 eigenvector
+   projection (cat states + bitwise controlled-U + parity bits);
+2. consume it in the Fig. 3 gadget: transversal CNOT, the N gate, and
+   a classical-ancilla-controlled logical sigma_z^{1/2};
+3. verify the data block carries exactly T_L|x>;
+4. inject single faults at hostile spots and verify they stay
+   correctable — then inject two and watch the failure, the O(p^2)
+   signature.
+
+Run:  python examples/fault_tolerant_t_gate.py
+"""
+
+from repro.circuits import PauliString, draw
+from repro.codes import SteaneCode
+from repro.ft import (
+    build_special_state_gadget,
+    build_t_gadget,
+    expected_t_output,
+    special_state_input,
+    sparse_logical_state,
+    t_gadget_inputs,
+    t_state_spec,
+)
+from repro.ft.ideal_recovery import recovered_block_overlap
+from repro.ft.special_states import combined_state_qubits
+
+
+def main() -> None:
+    steane = SteaneCode()
+    alpha, beta = 0.6, 0.8
+
+    print("=" * 64)
+    print("Step 1 — prepare |psi_0> without measurement (Fig. 2)")
+    print("=" * 64)
+    spec = t_state_spec(steane)
+    prep = build_special_state_gadget(steane, spec)
+    print(f"{prep.name}: {prep.num_qubits} qubits, "
+          f"{len(prep.circuit)} gates, measurement-free = "
+          f"{prep.circuit.is_ensemble_safe()}")
+    out = prep.run(special_state_input(prep, steane, spec))
+    overlap = out.block_overlap(combined_state_qubits(prep, spec),
+                                spec.expected_state(steane))
+    print(f"overlap with (|0>_L + e^(i pi/4)|1>_L)/sqrt2: "
+          f"{overlap:.12f}\n")
+
+    print("=" * 64)
+    print("Step 2 — the Fig. 3 gadget on data = "
+          f"{alpha}|0>_L + {beta}|1>_L")
+    print("=" * 64)
+    gadget = build_t_gadget(steane)
+    data = sparse_logical_state(steane, {(0,): alpha, (1,): beta})
+    result = gadget.run(t_gadget_inputs(gadget, steane, data))
+    expected = expected_t_output(steane, alpha, beta)
+    print(f"{gadget.name}: {gadget.num_qubits} qubits, "
+          f"{len(gadget.circuit)} gates")
+    print(f"data block overlap with T_L|x>: "
+          f"{gadget.block_overlap(result, 'data', expected):.12f}\n")
+
+    print("=" * 64)
+    print("Step 3 — single faults are absorbed, double faults are not")
+    print("=" * 64)
+    initial = gadget.initial_state(t_gadget_inputs(gadget, steane, data))
+    hostile_spots = [
+        ("X on data qubit 0 at the input",
+         PauliString.single(gadget.num_qubits,
+                            gadget.qubits("data")[0], "X"), -1),
+        ("Z on a classical-ancilla bit mid-circuit",
+         PauliString.single(gadget.num_qubits,
+                            gadget.qubits("classical")[3], "Z"), 100),
+        ("Y on the psi block during the N gate",
+         PauliString.single(gadget.num_qubits,
+                            gadget.qubits("psi")[4], "Y"), 50),
+    ]
+    from repro.ft.gadget import apply_circuit_with_faults
+
+    for label, fault, at in hostile_spots:
+        state = initial.copy()
+        apply_circuit_with_faults(state, gadget.circuit, [(fault, at)])
+        overlap = recovered_block_overlap(
+            state, list(gadget.qubits("data")), steane, expected
+        )
+        print(f"  {label}: recoverable overlap = {overlap:.9f}")
+
+    double = PauliString.from_label(
+        "XX" + "I" * (gadget.num_qubits - 2)
+    )
+    state = initial.copy()
+    apply_circuit_with_faults(state, gadget.circuit, [(double, -1)])
+    overlap = recovered_block_overlap(
+        state, list(gadget.qubits("data")), steane, expected
+    )
+    print(f"  TWO bit errors on the data input: recoverable overlap = "
+          f"{overlap:.3f}  <- the O(p^2) failure mode")
+
+    print()
+    print("=" * 64)
+    print("Appendix — the trivial-code gadget, small enough to draw")
+    print("=" * 64)
+    from repro.codes import TrivialCode
+
+    tiny = build_t_gadget(TrivialCode())
+    print(draw(tiny.circuit))
+    print("q0 = data, q1 = |psi_0>, q2 = classical ancilla")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Ensemble algorithm experiments (paper Sec. 2)."""
+
+from repro.algorithms import grover, order_finding, rng, teleportation
+from repro.algorithms.grover import (
+    EnsembleGroverReport,
+    grover_circuit,
+    hit_distribution,
+    run_ensemble_grover,
+)
+from repro.algorithms.order_finding import (
+    EnsembleOrderFindingReport,
+    multiplicative_order,
+    order_finding_circuit,
+    phase_estimate_distribution,
+    run_ensemble_order_finding,
+)
+from repro.algorithms.rng import (
+    EnsembleRngOutcome,
+    ensemble_rng_attempt,
+    rng_state_circuit,
+    single_computer_rng,
+)
+from repro.algorithms.teleportation import (
+    fully_quantum_output_fidelity,
+    fully_quantum_teleportation_circuit,
+    naive_ensemble_signal,
+    run_standard_on_single_computer,
+    standard_teleportation_circuit,
+)
+
+__all__ = [
+    "EnsembleGroverReport",
+    "EnsembleOrderFindingReport",
+    "EnsembleRngOutcome",
+    "ensemble_rng_attempt",
+    "fully_quantum_output_fidelity",
+    "fully_quantum_teleportation_circuit",
+    "grover",
+    "grover_circuit",
+    "hit_distribution",
+    "multiplicative_order",
+    "naive_ensemble_signal",
+    "order_finding",
+    "order_finding_circuit",
+    "phase_estimate_distribution",
+    "rng",
+    "rng_state_circuit",
+    "run_ensemble_grover",
+    "run_ensemble_order_finding",
+    "run_standard_on_single_computer",
+    "single_computer_rng",
+    "standard_teleportation_circuit",
+    "teleportation",
+]

@@ -1,0 +1,103 @@
+"""The random number generator impossibility demo (paper Sec. 2).
+
+On one quantum computer, preparing sqrt(p)|0> + sqrt(1-p)|1> and
+measuring yields a Bernoulli(1-p) bit — a perfect RNG.  On an ensemble
+machine the same program returns only the expectation p*(+1) +
+(1-p)*(-1): a *deterministic* signal revealing p but no random bit.
+"As far as we know, this cannot be done on an ensemble quantum
+computer."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits import Circuit, gates
+from repro.ensemble.machine import EnsembleMachine
+from repro.exceptions import ReproError
+from repro.simulators.statevector import StatevectorSimulator
+
+
+def rng_state_circuit(p: float) -> Circuit:
+    """Prepare sqrt(p)|0> + sqrt(1-p)|1> on one qubit.
+
+    Args:
+        p: probability of measuring 0.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ReproError(f"p={p} outside [0, 1]")
+    theta = 2.0 * math.acos(math.sqrt(p))
+    circuit = Circuit(1, name=f"rng_state(p={p})")
+    circuit.add_gate(gates.ry(theta), 0)
+    return circuit
+
+
+def rng_measurement_circuit(p: float) -> Circuit:
+    """The full single-computer RNG program (prepare + measure)."""
+    circuit = Circuit(1, 1, name=f"rng(p={p})")
+    circuit.compose(rng_state_circuit(p), qubits=[0])
+    circuit.measure(0, 0)
+    return circuit
+
+
+def single_computer_rng(p: float, shots: int,
+                        seed: Optional[int] = None) -> List[int]:
+    """Sample ``shots`` Bernoulli bits on a single quantum computer."""
+    simulator = StatevectorSimulator(seed=seed)
+    circuit = rng_measurement_circuit(p)
+    return [simulator.run(circuit).classical_bits[0] for _ in range(shots)]
+
+
+@dataclass
+class EnsembleRngOutcome:
+    """What the ensemble machine actually returns for the RNG program.
+
+    Attributes:
+        expected_signal: the deterministic 2p - 1 the readout reveals.
+        observed_signal: the (shot-noisy) observation.
+        recovered_p: p as estimated from the signal — the ensemble
+            measures *p itself*, not a random bit.
+    """
+
+    expected_signal: float
+    observed_signal: float
+
+    @property
+    def recovered_p(self) -> float:
+        return min(1.0, max(0.0, (self.observed_signal + 1.0) / 2.0))
+
+
+def ensemble_rng_attempt(p: float, machine: EnsembleMachine
+                         ) -> EnsembleRngOutcome:
+    """Run the RNG preparation on an ensemble machine.
+
+    Only the state-preparation part is runnable (the measurement would
+    raise); the readout is the expectation value — identical on every
+    run, hence useless as an RNG.
+    """
+    run = machine.run(rng_state_circuit(p))
+    signal = run.signals[0]
+    return EnsembleRngOutcome(
+        expected_signal=2.0 * p - 1.0,
+        observed_signal=signal.observed,
+    )
+
+
+def signal_variance_over_runs(p: float, machine_seed_base: int,
+                              ensemble_size: int, runs: int) -> float:
+    """Variance of the ensemble signal across independent runs.
+
+    For a true RNG this would be the Bernoulli variance 4p(1-p); for
+    the ensemble readout it is only the shot-noise floor ~1/N — the
+    quantitative form of the impossibility argument.
+    """
+    observations = []
+    for run_index in range(runs):
+        machine = EnsembleMachine(1, ensemble_size=ensemble_size,
+                                  seed=machine_seed_base + run_index)
+        observations.append(ensemble_rng_attempt(p, machine).observed_signal)
+    return float(np.var(observations))

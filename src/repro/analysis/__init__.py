@@ -1,0 +1,50 @@
+"""Fault analysis: propagation surveys, counting thresholds, scaling."""
+
+from repro.analysis.evaluators import (
+    classical_block_value_evaluator,
+    n_gadget_evaluator,
+    recovered_overlap_evaluator,
+)
+from repro.analysis.montecarlo import (
+    GadgetMonteCarloResult,
+    MalignantPairSample,
+    exhaustive_single_faults_sparse,
+    gadget_monte_carlo,
+    sample_malignant_pairs,
+    sweep_p,
+)
+from repro.analysis.propagation import (
+    GadgetFaultAnalyzer,
+    ResidualSignature,
+    SingleFaultSurvey,
+)
+from repro.analysis.scaling import (
+    PowerLawFit,
+    fit_power_law,
+    format_series,
+    scaling_is_linear,
+    scaling_is_quadratic,
+)
+from repro.analysis.threshold import ThresholdReport, analyze_gadget
+
+__all__ = [
+    "GadgetFaultAnalyzer",
+    "GadgetMonteCarloResult",
+    "MalignantPairSample",
+    "PowerLawFit",
+    "ResidualSignature",
+    "SingleFaultSurvey",
+    "ThresholdReport",
+    "analyze_gadget",
+    "classical_block_value_evaluator",
+    "exhaustive_single_faults_sparse",
+    "fit_power_law",
+    "format_series",
+    "gadget_monte_carlo",
+    "n_gadget_evaluator",
+    "recovered_overlap_evaluator",
+    "sample_malignant_pairs",
+    "scaling_is_linear",
+    "scaling_is_quadratic",
+    "sweep_p",
+]

@@ -1,0 +1,116 @@
+"""Standard acceptance evaluators for gadget outputs.
+
+An *evaluator* maps a gadget's (possibly fault-corrupted) output state
+to accept/reject.  The shared definition of "acceptable" throughout
+the experiments: after IDEAL error correction of the protected blocks,
+the intended logical output state is recovered exactly (junk registers
+may hold anything).  This matches the paper's failure notion — a
+gadget fails only when it leaves an *uncorrectable* error behind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.codes.quantum.css import CssCode
+from repro.ft.gadget import Gadget
+from repro.ft.ideal_recovery import apply_perfect_recovery
+from repro.ft.ngate import classical_majority_value
+from repro.simulators.sparse import SparseState
+
+_DEFAULT_TOLERANCE = 1e-7
+
+
+def recovered_overlap_evaluator(gadget: Gadget, code: CssCode,
+                                blocks: Sequence[str],
+                                expected: SparseState,
+                                tolerance: float = _DEFAULT_TOLERANCE
+                                ) -> Callable[[SparseState], bool]:
+    """Accept when ideal recovery restores the expected block state.
+
+    Args:
+        gadget: supplies the register layout.
+        code: the CSS code protecting the blocks.
+        blocks: register names, concatenated in order to match
+            ``expected``.
+        expected: the ideal joint state of those blocks.
+        tolerance: acceptable deviation from overlap 1.
+    """
+    qubit_lists = [list(gadget.qubits(name)) for name in blocks]
+    all_qubits: List[int] = [q for qubits in qubit_lists for q in qubits]
+
+    def evaluate(state: SparseState) -> bool:
+        scratch = state.copy()
+        for qubits in qubit_lists:
+            apply_perfect_recovery(scratch, qubits, code)
+        overlap = scratch.block_overlap(all_qubits, expected)
+        return overlap > 1.0 - tolerance
+
+    return evaluate
+
+
+def n_gadget_evaluator(gadget: Gadget, code: CssCode,
+                       logical_bit: int
+                       ) -> Callable[[SparseState], bool]:
+    """Per-basis-term acceptance for the N gadget on a basis input.
+
+    Every computational-basis term of the output must have
+
+    * at most floor((m-1)/2) classical-ancilla bits differing from the
+      input's logical value (majority/repetition radius), and
+    * a quantum-ancilla word within the code's correction radius of a
+      codeword carrying that same logical value.
+
+    Phase errors are ignored on both blocks: the classical ancilla has
+    no phase to protect and the quantum ancilla never touches data
+    again (paper Sec. 4.1/4.2).
+    """
+    classical = gadget.qubits("classical")
+    quantum = gadget.qubits("quantum")
+    tolerance = max(0, (len(classical) - 1) // 2)
+    classical_code = code.classical_code
+
+    def evaluate(state: SparseState) -> bool:
+        top = state.num_qubits - 1
+        for index in state.iter_ints():
+            wrong = sum(
+                ((index >> (top - qubit)) & 1) != logical_bit
+                for qubit in classical
+            )
+            if wrong > tolerance:
+                return False
+            word = [(index >> (top - qubit)) & 1 for qubit in quantum]
+            try:
+                corrected = classical_code.correct(word)
+            except Exception:
+                return False
+            if code.logical_readout(corrected) != logical_bit:
+                return False
+            flips = sum(int(w != c) for w, c in zip(word, corrected))
+            if flips > code.correctable_errors:
+                return False
+        return True
+
+    return evaluate
+
+
+def classical_block_value_evaluator(gadget: Gadget, block: str,
+                                    expected_bit: int,
+                                    max_wrong: int
+                                    ) -> Callable[[SparseState], bool]:
+    """Accept when a classical block majority-decodes to the bit with
+    at most ``max_wrong`` corrupted positions in every basis term."""
+    qubits = gadget.qubits(block)
+
+    def evaluate(state: SparseState) -> bool:
+        top = state.num_qubits - 1
+        for index in state.iter_ints():
+            bits = [(index >> (top - qubit)) & 1 for qubit in qubits]
+            wrong = sum(int(b != expected_bit) for b in bits)
+            if wrong > max_wrong:
+                return False
+            if classical_majority_value(bits) != expected_bit:
+                return False
+        return True
+
+    return evaluate

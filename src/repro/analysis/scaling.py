@@ -1,0 +1,93 @@
+"""Scaling fits: certifying the O(p^2) claim from sampled data.
+
+A fault-tolerant gadget's logical failure rate must vanish
+quadratically with the physical rate p; an unprotected operation
+degrades linearly.  :func:`fit_power_law` extracts the exponent from a
+(p, rate) series by least squares in log-log space, which is what the
+benchmark harness reports next to the paper's analytic claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """rate ~ coefficient * p^exponent."""
+
+    exponent: float
+    coefficient: float
+    points_used: int
+    residual: float
+
+    def predict(self, p: float) -> float:
+        return self.coefficient * p**self.exponent
+
+
+def fit_power_law(p_values: Sequence[float],
+                  rates: Sequence[float],
+                  stderrs: Optional[Sequence[float]] = None
+                  ) -> PowerLawFit:
+    """Least-squares log-log fit, dropping zero-rate points.
+
+    Zero observed failures at small p carry no log-space information;
+    they are excluded (with at least two informative points required).
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for index, (p, rate) in enumerate(zip(p_values, rates)):
+        if p <= 0:
+            raise AnalysisError("p values must be positive")
+        if rate <= 0:
+            continue
+        if stderrs is not None and rate <= stderrs[index]:
+            # Rate indistinguishable from zero: too noisy to place.
+            continue
+        xs.append(np.log(p))
+        ys.append(np.log(rate))
+    if len(xs) < 2:
+        raise AnalysisError(
+            f"need >= 2 nonzero points for a power-law fit, got {len(xs)}"
+        )
+    design = np.vstack([xs, np.ones(len(xs))]).T
+    solution, residual, _, _ = np.linalg.lstsq(design, np.array(ys),
+                                               rcond=None)
+    slope, intercept = solution
+    residual_value = float(residual[0]) if residual.size else 0.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        points_used=len(xs),
+        residual=residual_value,
+    )
+
+
+def scaling_is_quadratic(fit: PowerLawFit, tolerance: float = 0.5) -> bool:
+    """Whether the fitted exponent is ~2 (the FT signature)."""
+    return abs(fit.exponent - 2.0) <= tolerance
+
+
+def scaling_is_linear(fit: PowerLawFit, tolerance: float = 0.5) -> bool:
+    """Whether the fitted exponent is ~1 (unprotected behaviour)."""
+    return abs(fit.exponent - 1.0) <= tolerance
+
+
+def format_series(p_values: Sequence[float], rates: Sequence[float],
+                  stderrs: Optional[Sequence[float]] = None,
+                  label: str = "") -> str:
+    """Human-readable table of a failure-rate series."""
+    lines = [f"  {'p':>10s} {'failure rate':>14s}"
+             + ("" if stderrs is None else f" {'stderr':>10s}")]
+    for index, (p, rate) in enumerate(zip(p_values, rates)):
+        row = f"  {p:10.2e} {rate:14.6e}"
+        if stderrs is not None:
+            row += f" {stderrs[index]:10.1e}"
+        lines.append(row)
+    header = f"{label}\n" if label else ""
+    return header + "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Conjugation of Pauli errors by circuit gates.
+
+Fault-tolerance analysis works in the Heisenberg picture: a Pauli fault
+E occurring before a gate U is equivalent to the fault U E U^dagger
+occurring after it.  For Clifford gates the conjugate is again a Pauli
+string, so faults can be pushed through an entire Clifford circuit in
+polynomial time — this is how :mod:`repro.analysis` counts malignant
+fault pairs exactly the way the paper prescribes ("the threshold can
+easily be calculated by counting the potential places for two errors").
+
+For non-Clifford gates (T, controlled-S, Toffoli) a Pauli does not in
+general conjugate to a Pauli.  :func:`conjugate_pauli` returns ``None``
+in that case and the caller chooses a policy (the analysis module
+treats it conservatively as a potential logical fault on every block
+the gate touches).
+
+The conjugation is computed numerically — U P U^dagger is expanded in
+the Pauli basis and accepted only if exactly one coefficient survives —
+and memoised per (gate, local-Pauli) pair, so correctness does not
+depend on hand-maintained tableau rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.circuits.pauli import PauliString, pauli_basis
+
+_ATOL = 1e-8
+
+# Cache: (gate key, local pauli label, local phase offset) -> result or None
+_CACHE: Dict[Tuple[str, Tuple[float, ...], str], Optional[Tuple[str, int]]] = {}
+
+
+def _gate_key(gate: Gate) -> Tuple[str, Tuple[float, ...]]:
+    return (gate.name, tuple(gate.params))
+
+
+def _conjugate_local(gate: Gate, label: str) -> Optional[Tuple[str, int]]:
+    """Conjugate the local Pauli with the given label by ``gate``.
+
+    Returns ``(new_label, phase_exponent)`` with the result equal to
+    i^phase_exponent times the canonical operator of ``new_label``, or
+    ``None`` when the conjugate is not a Pauli string.
+    """
+    key = (_gate_key(gate)[0], _gate_key(gate)[1], label)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    pauli = PauliString.from_label(label)
+    conjugated = gate.matrix @ pauli.matrix() @ gate.matrix.conj().T
+
+    result: Optional[Tuple[str, int]] = None
+    dim = conjugated.shape[0]
+    for candidate in pauli_basis(gate.num_qubits):
+        basis_matrix = candidate.matrix()
+        coeff = np.trace(basis_matrix.conj().T @ conjugated) / dim
+        if abs(coeff) < _ATOL:
+            continue
+        # More than one surviving coefficient => not a Pauli.
+        if result is not None:
+            result = None
+            break
+        phase = _phase_to_exponent(coeff)
+        if phase is None:
+            result = None
+            break
+        result = (candidate.label(), phase)
+    _CACHE[key] = result
+    return result
+
+
+def _phase_to_exponent(coeff: complex) -> Optional[int]:
+    """Map a coefficient to k with coeff == i^k, or None."""
+    for exponent in range(4):
+        if abs(coeff - 1j**exponent) < _ATOL:
+            return exponent
+    return None
+
+
+def conjugate_pauli(gate: Gate, qubits: Sequence[int],
+                    pauli: PauliString) -> Optional[PauliString]:
+    """Compute U P U^dagger for a gate applied to specific qubits.
+
+    Args:
+        gate: the gate U.
+        qubits: the register qubits U acts on, in gate order.
+        pauli: the Pauli string P over the full register.
+
+    Returns:
+        The conjugated Pauli string, or ``None`` when the result is not
+        a Pauli (possible only for non-Clifford gates whose support
+        overlaps the fault).
+    """
+    local = pauli.restricted(qubits)
+    if local.is_identity:
+        return pauli
+    local_canonical = local.strip_phase()
+    outcome = _conjugate_local(gate, local_canonical.label())
+    if outcome is None:
+        return None
+    new_label, extra_phase = outcome
+    replacement = PauliString.from_label(new_label)
+    # Rebuild the full string: clear the gate's qubits then install the
+    # conjugated factors, preserving the original global phase offset.
+    x_bits = list(pauli.x_bits)
+    z_bits = list(pauli.z_bits)
+    for local_index, register_qubit in enumerate(qubits):
+        x_bits[register_qubit] = replacement.x_bits[local_index]
+        z_bits[register_qubit] = replacement.z_bits[local_index]
+    # Phase bookkeeping: pauli = i^a * (rest (x) local_canonical) where
+    # a = pauli.phase_offset() relative to canonical letters.  After
+    # conjugation local_canonical -> i^extra * new canonical letters.
+    new_string = PauliString(pauli.num_qubits, tuple(x_bits), tuple(z_bits))
+    canonical = new_string.strip_phase()
+    total_offset = (pauli.phase_offset() + extra_phase) % 4
+    return canonical.with_phase(canonical.phase + total_offset)
+
+
+def propagates_to_pauli(gate: Gate) -> bool:
+    """Whether every Pauli conjugates to a Pauli through this gate.
+
+    Equivalent to the gate being Clifford; verified numerically and
+    cached, so it is safe to call for synthesised gates whose
+    ``is_clifford`` flag was not set.
+    """
+    if gate.is_clifford:
+        return True
+    for pauli in pauli_basis(gate.num_qubits):
+        if pauli.is_identity:
+            continue
+        if _conjugate_local(gate, pauli.label()) is None:
+            return False
+    return True

@@ -1,0 +1,97 @@
+"""ASCII circuit drawing.
+
+:func:`draw` renders a circuit moment-by-moment as text, one row per
+qubit, which is how the examples print the paper's Figures 1-4 for
+visual comparison against the published diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.circuit import Circuit, GateOp, MeasureOp, ResetOp
+
+_WIRE = "-"
+_CONTROL = "*"
+
+
+def draw(circuit: Circuit, max_width: int = 0) -> str:
+    """Render the circuit as ASCII art.
+
+    Args:
+        circuit: the circuit to draw.
+        max_width: wrap the drawing after this many characters per row
+            (0 disables wrapping).
+
+    Returns:
+        A multi-line string with one labelled row per qubit.
+    """
+    moments = circuit.moments()
+    rows: List[List[str]] = [[] for _ in range(circuit.num_qubits)]
+    for moment in moments:
+        cells = [_WIRE * 3] * circuit.num_qubits
+        width = 3
+        for op in moment:
+            labels = _op_labels(op)
+            for qubit, label in labels.items():
+                cells[qubit] = label
+                width = max(width, len(label))
+        for qubit in range(circuit.num_qubits):
+            rows[qubit].append(cells[qubit].center(width, _WIRE))
+    lines = []
+    for qubit, row in enumerate(rows):
+        prefix = f"q{qubit:<3}: "
+        body = _WIRE.join(row)
+        lines.append(prefix + body)
+    text = "\n".join(lines)
+    if max_width and rows and rows[0]:
+        text = _wrap(lines, max_width)
+    return text
+
+
+def _op_labels(op) -> dict:
+    if isinstance(op, MeasureOp):
+        return {op.qubit: f"M[c{op.clbit}]"}
+    if isinstance(op, ResetOp):
+        return {op.qubit: "|0>"}
+    assert isinstance(op, GateOp)
+    name = op.gate.name
+    suffix = ""
+    if op.condition is not None:
+        bits = ",".join(f"c{b}" for b in op.condition.bits)
+        suffix = f"?{bits}={op.condition.value}"
+    if name == "CNOT" and len(op.qubits) == 2:
+        control, target = op.qubits
+        return {control: _CONTROL, target: "X" + suffix}
+    if name == "CZ" and len(op.qubits) == 2:
+        control, target = op.qubits
+        return {control: _CONTROL, target: "Z" + suffix}
+    if name == "TOFFOLI":
+        c1, c2, target = op.qubits
+        return {c1: _CONTROL, c2: _CONTROL, target: "X" + suffix}
+    if name.startswith("c") and len(op.qubits) >= 2:
+        labels = {qubit: _CONTROL for qubit in op.qubits[:-1]}
+        labels[op.qubits[-1]] = name[1:] + suffix
+        return labels
+    if len(op.qubits) == 1:
+        return {op.qubits[0]: name + suffix}
+    # Generic multi-qubit gate: number the legs.
+    return {
+        qubit: f"{name}:{index}" + (suffix if index == 0 else "")
+        for index, qubit in enumerate(op.qubits)
+    }
+
+
+def _wrap(lines: List[str], max_width: int) -> str:
+    wrapped: List[str] = []
+    remaining = lines
+    while any(len(line) > max_width for line in remaining):
+        chunk = [line[:max_width] for line in remaining]
+        remaining = [
+            line[max_width:] if len(line) > max_width else ""
+            for line in remaining
+        ]
+        wrapped.extend(chunk)
+        wrapped.append("")
+    wrapped.extend(remaining)
+    return "\n".join(line for line in wrapped)

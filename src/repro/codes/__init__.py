@@ -1,0 +1,17 @@
+"""Error-correcting codes: GF(2) algebra, classical and quantum codes."""
+
+from repro.codes import classical, gf2, quantum
+from repro.codes.classical import HammingCode, LinearCode, RepetitionCode
+from repro.codes.quantum import CssCode, SteaneCode, TrivialCode
+
+__all__ = [
+    "CssCode",
+    "HammingCode",
+    "LinearCode",
+    "RepetitionCode",
+    "SteaneCode",
+    "TrivialCode",
+    "classical",
+    "gf2",
+    "quantum",
+]

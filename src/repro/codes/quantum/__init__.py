@@ -1,0 +1,25 @@
+"""Quantum error-correcting codes (CSS family)."""
+
+from repro.codes.quantum.css import CssCode
+from repro.codes.quantum.stabilizer import (
+    check_commuting_generators,
+    in_stabilizer_group,
+    is_logical_operator,
+    stabilizer_projector,
+    syndrome_of,
+)
+from repro.codes.quantum.steane import SteaneCode, steane_code
+from repro.codes.quantum.trivial import TrivialCode, trivial_code
+
+__all__ = [
+    "CssCode",
+    "SteaneCode",
+    "TrivialCode",
+    "check_commuting_generators",
+    "in_stabilizer_group",
+    "is_logical_operator",
+    "stabilizer_projector",
+    "steane_code",
+    "syndrome_of",
+    "trivial_code",
+]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single except clause
+while still being able to distinguish the specific failure modes that
+matter to the paper's model (e.g. attempting a forbidden single-computer
+measurement on an ensemble machine).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits: bad qubit indices, arity
+    mismatches, or operations referencing unallocated registers."""
+
+
+class GateError(ReproError):
+    """Raised when a gate definition is inconsistent (non-unitary
+    matrix, wrong dimension) or an unknown gate name is requested."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute an operation, e.g. a
+    measurement in a simulator configured without classical memory."""
+
+
+class EnsembleViolationError(ReproError):
+    """Raised when a program performs an operation that is impossible
+    on an ensemble quantum computer.
+
+    The DSN'04 paper's central premise is that individual computers in
+    the ensemble cannot be measured; only expectation values over the
+    whole ensemble are observable.  The :class:`~repro.ensemble.machine.
+    EnsembleMachine` raises this error when a circuit attempts a
+    single-computer measurement whose outcome would be used as a
+    classical control, which is exactly the operation the paper's
+    measurement-free constructions eliminate.
+    """
+
+
+class CodeError(ReproError):
+    """Raised for inconsistent error-correcting code definitions or for
+    words that do not belong to the expected code space."""
+
+
+class DecodingFailure(ReproError):
+    """Raised when a decoder detects an uncorrectable error pattern."""
+
+
+class FaultToleranceError(ReproError):
+    """Raised when a fault-tolerance precondition is violated, e.g. a
+    gadget asked to operate transversally on overlapping blocks."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the error-propagation analysis when a fault cannot be
+    propagated (e.g. a Pauli fault hitting an unsupported non-Clifford
+    gate in strict mode)."""

@@ -1,0 +1,120 @@
+"""Ideal (noiseless) recovery used to *evaluate* gadget outputs.
+
+A gadget output is acceptable when ideal error correction on its data
+block would restore the intended logical state.  Naively comparing
+against ``E |expected>`` for a fixed Pauli E is too strict: a fault that
+crossed a non-Clifford gate (e.g. the controlled-S legs of the T
+gadget) leaves a *branch-dependent* Pauli residual, correlated with the
+classical ancilla.  Genuine error correction handles that, because the
+extracted syndrome is branch-dependent too.
+
+:func:`apply_perfect_recovery` therefore implements a coherent,
+unconstrained (non-fault-tolerant — it is an evaluator, not a protocol)
+decoder directly on a sparse state:
+
+* X-type errors: fresh ancillas take the per-basis-term classical
+  syndrome, and the minimum-weight correction for that syndrome is
+  XOR-ed into the block — a basis permutation, hence unitary.
+* Z-type errors: conjugate the block by bitwise H (CSS duality maps
+  phase errors to bit errors and X-stabilizers to Z-stabilizers) and
+  run the same procedure.
+
+After recovery, the block lies in the code space with at most a
+*logical* error; :func:`recovered_block_overlap` then measures the
+overlap with the expected logical block state, and 1.0 certifies the
+gadget output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.circuits import gates
+from repro.codes.quantum.css import CssCode
+from repro.exceptions import DecodingFailure, FaultToleranceError
+from repro.simulators.sparse import SparseState
+
+
+def _syndrome_correction_table(code: CssCode) -> Dict[int, np.ndarray]:
+    """syndrome value (int) -> minimum-weight error bit-vector."""
+    checks = code.classical_code.parity_check
+    table: Dict[int, np.ndarray] = {}
+    for value in range(2**checks.shape[0]):
+        syndrome = np.array(
+            [(value >> (checks.shape[0] - 1 - r)) & 1
+             for r in range(checks.shape[0])],
+            dtype=np.uint8,
+        )
+        try:
+            table[value] = code.classical_code.error_for_syndrome(syndrome)
+        except DecodingFailure:
+            # Outside the correction radius: leave the block untouched;
+            # the overlap check will report the failure.
+            table[value] = np.zeros(code.n, dtype=np.uint8)
+    return table
+
+
+def _apply_x_recovery(state: SparseState, block: Sequence[int],
+                      code: CssCode) -> None:
+    """Correct bit errors on the block (basis permutation + ancillas)."""
+    checks = code.classical_code.parity_check
+    num_checks = int(checks.shape[0])
+    if num_checks == 0:
+        return
+    ancillas = state.allocate(num_checks)
+    bits = [state._bit(block[position]) for position in range(code.n)]
+    # Per-term syndrome value (big-endian over check rows).
+    syndrome = np.zeros(state.num_terms, dtype=np.int64)
+    for row in range(num_checks):
+        row_parity = np.zeros(state.num_terms, dtype=np.int64)
+        for position in np.nonzero(checks[row])[0]:
+            row_parity ^= bits[int(position)]
+        syndrome = (syndrome << 1) | row_parity
+    # Correction mask (plus syndrome record in the fresh ancillas, to
+    # keep the map injective — a unitary permutation of basis states)
+    # as one Python-int mask per possible syndrome value.
+    table = _syndrome_correction_table(code)
+    mask_for: List[int] = [0] * (2**num_checks)
+    for value, error in table.items():
+        mask = 0
+        for position in np.nonzero(error)[0]:
+            mask |= 1 << (state.num_qubits - 1 - block[int(position)])
+        for row in range(num_checks):
+            if (value >> (num_checks - 1 - row)) & 1:
+                mask |= 1 << (state.num_qubits - 1 - ancillas[row])
+        mask_for[value] = mask
+    state.xor_row_masks([mask_for[int(s)] for s in syndrome])
+
+
+def apply_perfect_recovery(state: SparseState, block: Sequence[int],
+                           code: CssCode) -> None:
+    """Ideal X- and Z-error correction of one block, in place.
+
+    Allocates evaluator ancillas (two syndrome registers); callers that
+    need the original register layout should pass a copy.
+    """
+    if len(block) != code.n:
+        raise FaultToleranceError("block size does not match the code")
+    _apply_x_recovery(state, block, code)
+    for qubit in block:
+        state.apply_gate(gates.H, [qubit])
+    _apply_x_recovery(state, block, code)
+    for qubit in block:
+        state.apply_gate(gates.H, [qubit])
+
+
+def recovered_block_overlap(state: SparseState, block: Sequence[int],
+                            code: CssCode,
+                            expected: SparseState) -> float:
+    """Overlap of a block with its intended state after ideal recovery.
+
+    Returns <psi'| (|phi><phi|_block (x) I) |psi'> where psi' is the
+    state after perfect recovery on the block.  Equals 1.0 exactly when
+    the gadget's residual error on the block was correctable and the
+    corrected block is disentangled from all junk registers.
+    """
+    scratch = state.copy()
+    apply_perfect_recovery(scratch, block, code)
+    return scratch.block_overlap(block, expected)

@@ -1,0 +1,346 @@
+"""Measurement-free special-state preparation (paper Sec. 4.3 / Fig. 2).
+
+Both non-Clifford gadgets need a "special state" of encoded blocks:
+
+* sigma_z^{1/4}:  |psi_0> = (|0>_L + e^{i pi/4} |1>_L) / sqrt(2);
+* Toffoli:        |AND> = (|000> + |010> + |100> + |111>)_L / 2.
+
+Each is the +1 eigenvector of a transversal logical operator U_bar with
+U_bar|phi_0> = +|phi_0>, U_bar|phi_1> = -|phi_1>, and a transversal
+U_flip exchanging the two.  Fig. 2's procedure projects an easily
+prepared input alpha|phi_0> + beta|phi_1> onto |phi_0> without any
+measurement:
+
+repeat (once per logical-support position, >= 2k+1 times):
+    1. prepare a fresh n-qubit cat state (|0..0> + |1..1>)/sqrt(2);
+    2. apply Lambda(U) *bitwise*: cat qubit i controls the i-th local
+       factor of U_bar (plus a phase gate on one cat qubit carrying
+       U_bar's global phase);
+    3. extract the cat block's X-basis parity into a fresh parity bit
+       — 0 flags the |phi_0> component, 1 flags |phi_1>.
+finally: apply Lambda(U_flip) bitwise, the r-th parity bit controlling
+the flip factor on the r-th support position.
+
+Using each parity bit to control exactly one flip position (rather
+than voting them into a single bit and fanning it out) keeps every
+single fault confined to one error in the special-state block — the
+same discipline as the N gate's direct variant.
+
+Two parity-extraction modes are provided:
+
+* ``"hadamard"`` — the paper's literal Fig. 2: bitwise H on the cat
+  block, then the parity gate P (CNOTs from every cat qubit into the
+  parity bit).
+* ``"ancilla"`` — the textbook-equivalent phase-kickback form: a
+  |+> ancilla controls X on every cat qubit and a final H turns the
+  kicked-back X^(x)n eigenvalue into the parity bit.  Unitarily
+  equivalent (tested), same fault-tolerance structure, but it keeps
+  the cat block in a two-term superposition, which keeps sparse
+  simulation of Steane-scale preparations cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits import gates
+from repro.circuits.circuit import Circuit
+from repro.codes.quantum.css import CssCode
+from repro.exceptions import FaultToleranceError
+from repro.ft import transversal
+from repro.ft.gadget import Gadget, RegisterAllocator
+from repro.simulators.sparse import SparseState
+
+PARITY_MODES = ("ancilla", "hadamard")
+
+
+@dataclass(frozen=True)
+class SpecialStateSpec:
+    """One instance of the Fig. 2 scheme.
+
+    Attributes:
+        name: label ('t_state' or 'and_state').
+        num_blocks: encoded blocks the special state spans.
+        add_controlled_u: appends the bitwise Lambda(U): called with
+            (circuit, code, cat_qubits, block_qubit_lists).
+        control_phase: U_bar's global phase (radians), attached as a
+            phase gate to cat qubit 0.
+        add_controlled_flip_factor: appends the flip factor controlled
+            by ONE parity bit at ONE support position: called with
+            (circuit, code, control_bit, position, block_qubit_lists).
+        input_blocks: builds the cheap input state alpha|phi_0> +
+            beta|phi_1> as one SparseState per block.
+        expected_state: the target |phi_0> over all blocks.
+    """
+
+    name: str
+    num_blocks: int
+    add_controlled_u: Callable
+    control_phase: float
+    add_controlled_flip_factor: Callable
+    input_blocks: Callable[[CssCode], List[SparseState]]
+    expected_state: Callable[[CssCode], SparseState]
+
+
+# ---------------------------------------------------------------------------
+# Helpers to build logical multi-block states sparsely
+# ---------------------------------------------------------------------------
+
+def sparse_coset_state(code: CssCode, logical_bit: int) -> SparseState:
+    """|0>_L or |1>_L of one block as a SparseState."""
+    shift = code.logical_support if logical_bit else np.zeros(
+        code.n, dtype=np.uint8
+    )
+    terms: Dict[int, complex] = {}
+    for word in code._enumerate_dual_words():
+        bits = (word + shift) % 2
+        index = 0
+        for bit in bits:
+            index = (index << 1) | int(bit)
+        terms[index] = 1.0
+    return SparseState.from_terms(code.n, terms)
+
+
+def sparse_logical_state(code: CssCode,
+                         amplitudes: Dict[Tuple[int, ...], complex]
+                         ) -> SparseState:
+    """A multi-block logical state Σ c_bits |bits>_L as a SparseState.
+
+    Args:
+        code: the CSS code of every block.
+        amplitudes: {(b_1, ..., b_m): amplitude} over logical basis
+            states of m blocks.
+    """
+    if not amplitudes:
+        raise FaultToleranceError("need at least one logical component")
+    num_blocks = len(next(iter(amplitudes)))
+    combined: Dict[int, complex] = {}
+    for bits, coefficient in amplitudes.items():
+        if len(bits) != num_blocks:
+            raise FaultToleranceError("inconsistent logical widths")
+        block_states = [sparse_coset_state(code, b) for b in bits]
+        product = block_states[0]
+        for block_state in block_states[1:]:
+            product = product.tensor(block_state)
+        for index, amplitude in product.terms().items():
+            combined[index] = combined.get(index, 0.0) \
+                + coefficient * amplitude
+    return SparseState.from_terms(num_blocks * code.n, combined)
+
+
+# ---------------------------------------------------------------------------
+# The sigma_z^{1/4} special state |psi_0>  (paper Sec. 4.4)
+# ---------------------------------------------------------------------------
+
+def _t_controlled_u(circuit: Circuit, code: CssCode,
+                    cat: Sequence[int],
+                    blocks: Sequence[Sequence[int]]) -> None:
+    """Bitwise Lambda(U) for U_bar = e^{i pi/4} X_L S_L^dagger.
+
+    This is the paper's Sec. 4.4 operator (sigma_z^{-1/2} times
+    sigma_x, with global phase e^{i pi/4}); it satisfies
+    U_bar|psi_0> = |psi_0>, U_bar|psi_1> = -|psi_1> for
+    |psi_(0,1)> = (|0>_L +- e^{i pi/4}|1>_L)/sqrt(2).  Bitwise,
+    S_L^dagger is CS or CS^dagger per the code's coset weights, X_L
+    sits on the logical support, and the global phase rides on cat
+    qubit 0.
+    """
+    (state_block,) = blocks
+    cs_gate = transversal.controlled_s_dagger_physical_gate(code)
+    for position in range(code.n):
+        circuit.add_gate(cs_gate, cat[position], state_block[position])
+    for position in transversal.support_positions(code):
+        circuit.add_gate(gates.CNOT, cat[position], state_block[position])
+
+
+def _t_controlled_flip(circuit: Circuit, code: CssCode, control_bit: int,
+                       position: int,
+                       blocks: Sequence[Sequence[int]]) -> None:
+    """One flip factor of U_flip = Z_L: CZ at one support position."""
+    (state_block,) = blocks
+    circuit.add_gate(gates.CZ, control_bit, state_block[position])
+
+
+def t_state_spec(code: CssCode) -> SpecialStateSpec:
+    """Fig. 2 instantiated for |psi_0> (the sigma_z^{1/4} resource)."""
+    return SpecialStateSpec(
+        name="t_state",
+        num_blocks=1,
+        add_controlled_u=_t_controlled_u,
+        control_phase=math.pi / 4.0,
+        add_controlled_flip_factor=_t_controlled_flip,
+        input_blocks=lambda c: [sparse_coset_state(c, 0)],
+        expected_state=lambda c: sparse_logical_state(
+            c, {(0,): 1.0, (1,): complex(math.cos(math.pi / 4),
+                                         math.sin(math.pi / 4))}
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The Toffoli special state |AND>  (paper Sec. 4.5)
+# ---------------------------------------------------------------------------
+
+def _and_controlled_u(circuit: Circuit, code: CssCode,
+                      cat: Sequence[int],
+                      blocks: Sequence[Sequence[int]]) -> None:
+    """Bitwise Lambda(U) for U_bar = Lambda(sigma_z) (x) sigma_z.
+
+    CZ_L between blocks A and B is bitwise CZ, so its cat-controlled
+    version is bitwise CCZ; sigma_z on block C is Z on the logical
+    support, cat-controlled as CZ.
+    """
+    block_a, block_b, block_c = blocks
+    for position in range(code.n):
+        circuit.add_gate(gates.CCZ, cat[position], block_a[position],
+                         block_b[position])
+    for position in transversal.support_positions(code):
+        circuit.add_gate(gates.CZ, cat[position], block_c[position])
+
+
+def _and_controlled_flip(circuit: Circuit, code: CssCode,
+                         control_bit: int, position: int,
+                         blocks: Sequence[Sequence[int]]) -> None:
+    """One flip factor of U_flip = I (x) I (x) X_L."""
+    block_c = blocks[2]
+    circuit.add_gate(gates.CNOT, control_bit, block_c[position])
+
+
+def and_state_spec(code: CssCode) -> SpecialStateSpec:
+    """Fig. 2 instantiated for |AND> (the Toffoli resource)."""
+    half = 0.5 + 0.0j
+    return SpecialStateSpec(
+        name="and_state",
+        num_blocks=3,
+        add_controlled_u=_and_controlled_u,
+        control_phase=0.0,
+        add_controlled_flip_factor=_and_controlled_flip,
+        input_blocks=lambda c: [
+            SparseState.from_terms(
+                c.n,
+                dict(sparse_logical_state(
+                    c, {(0,): 1.0, (1,): 1.0}).terms()),
+            )
+            for _ in range(3)
+        ],
+        expected_state=lambda c: sparse_logical_state(
+            c,
+            {(0, 0, 0): half, (0, 1, 0): half,
+             (1, 0, 0): half, (1, 1, 1): half},
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The Fig. 2 gadget builder
+# ---------------------------------------------------------------------------
+
+def build_special_state_gadget(code: CssCode, spec: SpecialStateSpec,
+                               parity_mode: str = "ancilla",
+                               repetitions: Optional[int] = None) -> Gadget:
+    """Build the measurement-free eigenvector-preparation gadget.
+
+    Registers:
+        ``state_<j>``  - the encoded blocks of the special state
+                         (inputs: the cheap alpha|phi_0>+beta|phi_1>);
+        ``cat_<r>``    - fresh cat-state block per repetition;
+        ``parity_<r>`` - fresh parity bit per repetition.
+
+    Repetition r's parity bit controls the flip factor on the r-th
+    logical-support position.  ``repetitions`` (default: one per
+    support position) must equal the support size.
+    """
+    if parity_mode not in PARITY_MODES:
+        raise FaultToleranceError(
+            f"parity_mode must be one of {PARITY_MODES}"
+        )
+    support = transversal.support_positions(code)
+    if repetitions is None:
+        repetitions = len(support)
+    if repetitions != len(support):
+        raise FaultToleranceError(
+            f"need one repetition per support position "
+            f"({len(support)}), got {repetitions}"
+        )
+    if len(support) < 2 * code.correctable_errors + 1:
+        raise FaultToleranceError(
+            f"{code.name}: logical support {len(support)} below the "
+            f"2k+1 redundancy the scheme needs"
+        )
+    alloc = RegisterAllocator()
+    state_blocks = [
+        alloc.block(f"state_{j}", code.n, role="data")
+        for j in range(spec.num_blocks)
+    ]
+    cat_blocks = [
+        alloc.block(f"cat_{r}", code.n, role="cat")
+        for r in range(repetitions)
+    ]
+    parity_bits = [
+        alloc.block(f"parity_{r}", 1, role="work")
+        for r in range(repetitions)
+    ]
+    circuit = Circuit(alloc.num_qubits,
+                      name=f"prep_{spec.name}[{code.name},{parity_mode}]")
+    block_qubits = [block.qubits for block in state_blocks]
+    for rep in range(repetitions):
+        cat = cat_blocks[rep].qubits
+        parity = parity_bits[rep].qubits[0]
+        # 1. Fresh cat state.
+        circuit.add_gate(gates.H, cat[0])
+        for position in range(1, code.n):
+            circuit.add_gate(gates.CNOT, cat[position - 1], cat[position])
+        # 2. Bitwise Lambda(U), with the global phase on cat qubit 0.
+        if abs(spec.control_phase) > 1e-12:
+            circuit.add_gate(gates.rz(spec.control_phase), cat[0])
+        spec.add_controlled_u(circuit, code, cat, block_qubits)
+        # 3. X-basis parity of the cat block into the parity bit.
+        if parity_mode == "hadamard":
+            for position in range(code.n):
+                circuit.add_gate(gates.H, cat[position])
+            for position in range(code.n):
+                circuit.add_gate(gates.CNOT, cat[position], parity)
+        else:
+            circuit.add_gate(gates.H, parity)
+            for position in range(code.n):
+                circuit.add_gate(gates.CNOT, parity, cat[position])
+            circuit.add_gate(gates.H, parity)
+    # 4. Bitwise Lambda(U_flip): parity bit r drives support position r.
+    for rep, position in enumerate(support):
+        spec.add_controlled_flip_factor(
+            circuit, code, parity_bits[rep].qubits[0], position,
+            block_qubits,
+        )
+    return Gadget(
+        name=circuit.name,
+        circuit=circuit,
+        registers=alloc.registers,
+        data_blocks=tuple(f"state_{j}" for j in range(spec.num_blocks)),
+        output_blocks=tuple(f"state_{j}" for j in range(spec.num_blocks)),
+        notes=(
+            "Measurement-free eigenvector preparation (paper Fig. 2): "
+            "projects alpha|phi_0>+beta|phi_1> onto |phi_0> via "
+            "cat-state-controlled transversal U and parity-controlled "
+            "transversal U_flip."
+        ),
+    )
+
+
+def special_state_input(gadget: Gadget, code: CssCode,
+                        spec: SpecialStateSpec) -> Dict[str, SparseState]:
+    """The cheap input blocks for the gadget, keyed by register name."""
+    blocks = spec.input_blocks(code)
+    return {f"state_{j}": block for j, block in enumerate(blocks)}
+
+
+def combined_state_qubits(gadget: Gadget, spec: SpecialStateSpec
+                          ) -> List[int]:
+    """All state-block qubits in block order (for overlap checks)."""
+    qubits: List[int] = []
+    for j in range(spec.num_blocks):
+        qubits.extend(gadget.qubits(f"state_{j}"))
+    return qubits

@@ -1,0 +1,26 @@
+"""Noise models, fault locations and fault injection."""
+
+from repro.noise.injection import (
+    MonteCarloResult,
+    exhaustive_single_faults,
+    monte_carlo,
+    run_with_faults,
+)
+from repro.noise.locations import (
+    FaultLocation,
+    count_locations,
+    enumerate_locations,
+)
+from repro.noise.model import NoiseModel, SampledFault
+
+__all__ = [
+    "FaultLocation",
+    "MonteCarloResult",
+    "NoiseModel",
+    "SampledFault",
+    "count_locations",
+    "enumerate_locations",
+    "exhaustive_single_faults",
+    "monte_carlo",
+    "run_with_faults",
+]

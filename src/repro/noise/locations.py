@@ -1,0 +1,142 @@
+"""Fault-location enumeration.
+
+The paper's error accounting (Sec. 4.2): "For a probability p of an
+error (per gate, per input bit, and per delay line), the resulting
+error rate of this circuit is O(p^2)".  A *fault location* is therefore
+one of:
+
+* ``input`` — one circuit input qubit (the fault sits before any gate);
+* ``gate`` — one gate application (the fault is a Pauli on the gate's
+  qubits, inserted right after it);
+* ``delay`` — one (moment, qubit) pair where an already-active qubit
+  idles.
+
+Each location carries ``after_op``, the operation index after which its
+fault takes effect, which is what both the state-vector injector and
+the Pauli propagator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit, GateOp
+from repro.circuits.pauli import PauliString
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class FaultLocation:
+    """One place where the noise model may strike.
+
+    Attributes:
+        kind: 'input', 'gate' or 'delay'.
+        qubits: qubits the fault may act on (one for input/delay, the
+            gate's qubits for gate locations).
+        after_op: operation index the fault is inserted after (-1 means
+            before the first operation).
+        detail: human-readable position (gate name / moment index).
+    """
+
+    kind: str
+    qubits: Tuple[int, ...]
+    after_op: int
+    detail: str = ""
+
+    def fault_paulis(self, num_qubits: int) -> List[PauliString]:
+        """All non-identity Pauli faults supported on this location.
+
+        For a w-qubit location these are the 4^w - 1 non-identity
+        Paulis on its qubits, embedded into the full register.
+        """
+        from repro.circuits.pauli import pauli_basis
+
+        faults: List[PauliString] = []
+        for local in pauli_basis(len(self.qubits)):
+            if local.is_identity:
+                continue
+            faults.append(local.embedded(num_qubits, list(self.qubits)))
+        return faults
+
+
+def enumerate_locations(circuit: Circuit,
+                        include_inputs: bool = True,
+                        include_gates: bool = True,
+                        include_delays: bool = True,
+                        input_qubits: Optional[Sequence[int]] = None
+                        ) -> List[FaultLocation]:
+    """All fault locations of a (measurement-free) circuit.
+
+    Args:
+        circuit: the circuit under analysis.
+        include_inputs / include_gates / include_delays: toggles for
+            the three location kinds.
+        input_qubits: restrict input locations to these qubits (e.g.
+            only the data block carries unknown input state; fresh
+            ancillas prepared inside the gadget get their faults from
+            the preparing gates instead).  Default: every qubit.
+    """
+    locations: List[FaultLocation] = []
+    if include_inputs:
+        qubits = range(circuit.num_qubits) if input_qubits is None \
+            else input_qubits
+        for qubit in qubits:
+            locations.append(FaultLocation(
+                kind="input", qubits=(qubit,), after_op=-1,
+                detail=f"input q{qubit}",
+            ))
+    if include_gates:
+        for index, op in enumerate(circuit.operations):
+            if not isinstance(op, GateOp):
+                raise AnalysisError(
+                    "fault enumeration requires a measurement-free circuit"
+                )
+            locations.append(FaultLocation(
+                kind="gate", qubits=op.qubits, after_op=index,
+                detail=f"{op.gate.name}@op{index}",
+            ))
+    if include_delays:
+        locations.extend(_delay_locations(circuit))
+    return locations
+
+
+def _delay_locations(circuit: Circuit) -> List[FaultLocation]:
+    """Delay-line locations, each mapped to an ``after_op`` index.
+
+    A fault on qubit q idling during moment m only fails to commute
+    with operations touching q, and those are ordered identically in
+    program and moment order.  It is therefore inserted after the last
+    program operation that touches q in a moment <= m.
+    """
+    # Recompute the ASAP moment assignment, keeping program indices.
+    qubit_frontier = [0] * circuit.num_qubits
+    op_moment: List[int] = []
+    for op in circuit.operations:
+        moment = max(
+            (qubit_frontier[q] for q in op.touched_qubits), default=0
+        )
+        op_moment.append(moment)
+        for q in op.touched_qubits:
+            qubit_frontier[q] = moment + 1
+    locations: List[FaultLocation] = []
+    for moment_index, qubit in circuit.idle_locations():
+        anchor = -1
+        for index, op in enumerate(circuit.operations):
+            if qubit in op.touched_qubits and op_moment[index] <= moment_index:
+                anchor = index
+        locations.append(FaultLocation(
+            kind="delay", qubits=(qubit,),
+            after_op=anchor,
+            detail=f"delay q{qubit}@m{moment_index}",
+        ))
+    return locations
+
+
+def count_locations(circuit: Circuit, **kwargs) -> dict:
+    """Histogram of location kinds — the paper's counting input."""
+    counts = {"input": 0, "gate": 0, "delay": 0}
+    for location in enumerate_locations(circuit, **kwargs):
+        counts[location.kind] += 1
+    counts["total"] = sum(counts.values())
+    return counts

@@ -1,0 +1,126 @@
+"""Stochastic noise models over fault locations.
+
+A :class:`NoiseModel` assigns an error probability to each location
+kind (gate / input / delay line — the paper's three) and a channel
+describing what a fault looks like when it strikes (uniform
+depolarizing by default, or restricted bit-flip / phase-flip channels
+for the ablation studies that separate the two error species the
+paper treats so differently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.pauli import PauliString, pauli_basis
+from repro.exceptions import SimulationError
+from repro.noise.locations import FaultLocation, enumerate_locations
+
+#: Channel names accepted by :class:`NoiseModel`.
+CHANNELS = ("depolarizing", "bit_flip", "phase_flip")
+
+
+@dataclass(frozen=True)
+class SampledFault:
+    """One fault drawn by the noise model."""
+
+    pauli: PauliString
+    after_op: int
+    location: FaultLocation
+
+
+class NoiseModel:
+    """Per-location stochastic Pauli noise.
+
+    Args:
+        p_gate: probability that a gate application is faulty.
+        p_input: probability of an error on each circuit input qubit
+            (None copies p_gate).
+        p_delay: probability of an error per delay-line location
+            (None copies p_gate).
+        channel: 'depolarizing' (uniform over non-identity Paulis),
+            'bit_flip' (X only) or 'phase_flip' (Z only).
+    """
+
+    def __init__(self, p_gate: float,
+                 p_input: Optional[float] = None,
+                 p_delay: Optional[float] = None,
+                 channel: str = "depolarizing") -> None:
+        for value in (p_gate, p_input, p_delay):
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise SimulationError(f"probability {value} outside [0,1]")
+        if channel not in CHANNELS:
+            raise SimulationError(
+                f"unknown channel {channel!r}; pick one of {CHANNELS}"
+            )
+        self.p_gate = p_gate
+        self.p_input = p_gate if p_input is None else p_input
+        self.p_delay = p_gate if p_delay is None else p_delay
+        self.channel = channel
+
+    @classmethod
+    def uniform(cls, p: float, channel: str = "depolarizing") -> "NoiseModel":
+        """Same probability at every location — the paper's model."""
+        return cls(p_gate=p, p_input=p, p_delay=p, channel=channel)
+
+    def probability_for(self, location: FaultLocation) -> float:
+        if location.kind == "gate":
+            return self.p_gate
+        if location.kind == "input":
+            return self.p_input
+        return self.p_delay
+
+    def fault_choices(self, location: FaultLocation,
+                      num_qubits: int) -> List[PauliString]:
+        """The Pauli faults this channel can place at a location."""
+        width = len(location.qubits)
+        choices: List[PauliString] = []
+        for local in pauli_basis(width):
+            if local.is_identity:
+                continue
+            label = local.label()
+            if self.channel == "bit_flip" and set(label) - {"I", "X"}:
+                continue
+            if self.channel == "phase_flip" and set(label) - {"I", "Z"}:
+                continue
+            choices.append(local.embedded(num_qubits, list(location.qubits)))
+        return choices
+
+    def sample_faults(self, circuit: Circuit,
+                      rng: np.random.Generator,
+                      locations: Optional[Sequence[FaultLocation]] = None
+                      ) -> List[SampledFault]:
+        """Draw the fault set for one Monte-Carlo run of the circuit."""
+        if locations is None:
+            locations = enumerate_locations(circuit)
+        faults: List[SampledFault] = []
+        for location in locations:
+            probability = self.probability_for(location)
+            if probability <= 0.0 or rng.random() >= probability:
+                continue
+            choices = self.fault_choices(location, circuit.num_qubits)
+            if not choices:
+                continue
+            pauli = choices[int(rng.integers(0, len(choices)))]
+            faults.append(SampledFault(
+                pauli=pauli, after_op=location.after_op, location=location,
+            ))
+        return faults
+
+    def expected_fault_count(self, circuit: Circuit,
+                             locations: Optional[Sequence[FaultLocation]]
+                             = None) -> float:
+        """Mean number of faults per run (the paper's Np figure)."""
+        if locations is None:
+            locations = enumerate_locations(circuit)
+        return float(sum(self.probability_for(loc) for loc in locations))
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseModel(p_gate={self.p_gate}, p_input={self.p_input}, "
+            f"p_delay={self.p_delay}, channel={self.channel!r})"
+        )

@@ -1,0 +1,58 @@
+"""Simulation backends.
+
+Three complementary engines:
+
+* :class:`~repro.simulators.statevector.StateVector` /
+  :class:`~repro.simulators.statevector.StatevectorSimulator` — exact
+  pure-state simulation of one computer (supports the measurements an
+  ensemble machine forbids).
+* :class:`~repro.simulators.density_matrix.DensityMatrix` — exact mixed
+  states for small registers; the natural picture of an ensemble.
+* :class:`~repro.simulators.pauli_tracker.PauliPropagator` —
+  Heisenberg-picture fault propagation for paper-style error counting.
+"""
+
+from repro.simulators.channels import (
+    KrausChannel,
+    PauliChannel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    dephasing,
+    pauli_xz,
+    phase_flip,
+)
+from repro.simulators.density_matrix import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+)
+from repro.simulators.pauli_tracker import PauliPropagator, PropagatedFault
+from repro.simulators.sparse import SparseState
+from repro.simulators.statevector import (
+    SimulationResult,
+    StatevectorSimulator,
+    StateVector,
+    run_unitary,
+)
+
+__all__ = [
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "KrausChannel",
+    "PauliChannel",
+    "PauliPropagator",
+    "PropagatedFault",
+    "SimulationResult",
+    "SparseState",
+    "StateVector",
+    "StatevectorSimulator",
+    "amplitude_damping",
+    "bit_flip",
+    "bit_phase_flip",
+    "dephasing",
+    "depolarizing",
+    "pauli_xz",
+    "phase_flip",
+    "run_unitary",
+]

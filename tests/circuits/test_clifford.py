@@ -1,0 +1,131 @@
+"""Tests for Heisenberg-picture Pauli conjugation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    PauliString,
+    conjugate_pauli,
+    gates,
+    pauli_basis,
+    propagates_to_pauli,
+)
+
+CLIFFORD_1Q = [gates.I, gates.X, gates.Y, gates.Z, gates.H, gates.S,
+               gates.S_DG]
+CLIFFORD_2Q = [gates.CNOT, gates.CZ, gates.CY, gates.SWAP]
+
+
+class TestKnownRules:
+    """The propagation rules the paper's arguments rest on."""
+
+    def test_cnot_copies_x_control_to_target(self):
+        result = conjugate_pauli(gates.CNOT, [0, 1],
+                                 PauliString.from_label("XI"))
+        assert result.label() == "XX"
+
+    def test_cnot_copies_z_target_to_control(self):
+        """The back-propagation of phase errors (paper Sec. 3)."""
+        result = conjugate_pauli(gates.CNOT, [0, 1],
+                                 PauliString.from_label("IZ"))
+        assert result.label() == "ZZ"
+
+    def test_cnot_leaves_x_target_alone(self):
+        result = conjugate_pauli(gates.CNOT, [0, 1],
+                                 PauliString.from_label("IX"))
+        assert result.label() == "IX"
+
+    def test_cnot_leaves_z_control_alone(self):
+        result = conjugate_pauli(gates.CNOT, [0, 1],
+                                 PauliString.from_label("ZI"))
+        assert result.label() == "ZI"
+
+    def test_h_swaps_x_and_z(self):
+        assert conjugate_pauli(gates.H, [0],
+                               PauliString.from_label("X")).label() == "Z"
+        assert conjugate_pauli(gates.H, [0],
+                               PauliString.from_label("Z")).label() == "X"
+
+    def test_s_maps_x_to_y(self):
+        result = conjugate_pauli(gates.S, [0], PauliString.from_label("X"))
+        assert result.label() == "Y"
+
+    def test_cz_maps_x_to_xz(self):
+        result = conjugate_pauli(gates.CZ, [0, 1],
+                                 PauliString.from_label("XI"))
+        assert result.label() == "XZ"
+
+    def test_identity_on_disjoint_support(self):
+        pauli = PauliString.from_label("IIX")
+        result = conjugate_pauli(gates.CNOT, [0, 1], pauli)
+        assert result is pauli
+
+
+class TestNonClifford:
+    def test_t_on_x_is_not_pauli(self):
+        assert conjugate_pauli(gates.T, [0],
+                               PauliString.from_label("X")) is None
+
+    def test_t_on_z_is_pauli(self):
+        result = conjugate_pauli(gates.T, [0], PauliString.from_label("Z"))
+        assert result.label() == "Z"
+
+    def test_toffoli_x_control_is_not_pauli(self):
+        assert conjugate_pauli(gates.TOFFOLI, [0, 1, 2],
+                               PauliString.from_label("XII")) is None
+
+    def test_toffoli_x_target_is_pauli(self):
+        result = conjugate_pauli(gates.TOFFOLI, [0, 1, 2],
+                                 PauliString.from_label("IIX"))
+        assert result.label() == "IIX"
+
+    def test_cs_x_target_is_not_pauli(self):
+        assert conjugate_pauli(gates.CS, [0, 1],
+                               PauliString.from_label("IX")) is None
+
+    def test_propagates_to_pauli_flags(self):
+        assert propagates_to_pauli(gates.H)
+        assert propagates_to_pauli(gates.CNOT)
+        assert not propagates_to_pauli(gates.T)
+        assert not propagates_to_pauli(gates.TOFFOLI)
+        assert not propagates_to_pauli(gates.CS)
+
+
+class TestExactness:
+    """Conjugation must match dense-matrix conjugation exactly."""
+
+    @pytest.mark.parametrize("gate", CLIFFORD_1Q)
+    def test_single_qubit_gates(self, gate):
+        for pauli in pauli_basis(1):
+            result = conjugate_pauli(gate, [0], pauli)
+            expected = gate.matrix @ pauli.matrix() @ gate.matrix.conj().T
+            assert np.allclose(result.matrix(), expected, atol=1e-9)
+
+    @pytest.mark.parametrize("gate", CLIFFORD_2Q)
+    def test_two_qubit_gates(self, gate):
+        for pauli in pauli_basis(2):
+            result = conjugate_pauli(gate, [0, 1], pauli)
+            expected = gate.matrix @ pauli.matrix() @ gate.matrix.conj().T
+            assert np.allclose(result.matrix(), expected, atol=1e-9)
+
+    @given(st.sampled_from(CLIFFORD_2Q),
+           st.text(alphabet="IXYZ", min_size=3, max_size=3),
+           st.permutations([0, 1, 2]))
+    @settings(max_examples=50, deadline=None)
+    def test_embedding_into_larger_register(self, gate, label, perm):
+        qubits = list(perm)[:2]
+        pauli = PauliString.from_label(label)
+        result = conjugate_pauli(gate, qubits, pauli)
+        # Build the embedded gate matrix and conjugate densely.
+        full = np.eye(8, dtype=complex).reshape((2,) * 6)
+        gate_tensor = gate.matrix.reshape(2, 2, 2, 2)
+        full = np.tensordot(gate_tensor,
+                            np.eye(8).reshape((2,) * 6),
+                            axes=([2, 3], qubits))
+        order = qubits + [q for q in range(3) if q not in qubits]
+        inverse = list(np.argsort(order))
+        full = np.transpose(full, inverse + [3, 4, 5]).reshape(8, 8)
+        expected = full @ pauli.matrix() @ full.conj().T
+        assert np.allclose(result.matrix(), expected, atol=1e-9)

@@ -1,0 +1,113 @@
+"""Tests for GF(2) linear algebra, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.codes import gf2
+from repro.exceptions import CodeError
+
+matrices = hnp.arrays(np.uint8, st.tuples(st.integers(1, 6),
+                                          st.integers(1, 6)),
+                      elements=st.integers(0, 1))
+
+
+class TestRref:
+    def test_identity_unchanged(self):
+        reduced, pivots = gf2.rref(np.eye(3, dtype=np.uint8))
+        assert np.array_equal(reduced, np.eye(3, dtype=np.uint8))
+        assert pivots == [0, 1, 2]
+
+    def test_dependent_rows(self):
+        matrix = np.array([[1, 1, 0], [1, 1, 0], [0, 0, 1]])
+        reduced, pivots = gf2.rref(matrix)
+        assert len(pivots) == 2
+        assert not np.any(reduced[2])  # zero row kept
+
+    @given(matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_rref_preserves_row_space(self, matrix):
+        reduced, _ = gf2.rref(matrix)
+        for row in matrix:
+            assert gf2.row_space_contains(reduced, row)
+        for row in reduced:
+            if np.any(row):
+                assert gf2.row_space_contains(matrix, row)
+
+    @given(matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_bounded(self, matrix):
+        rank = gf2.rank(matrix)
+        assert 0 <= rank <= min(matrix.shape)
+
+
+class TestNullspace:
+    @given(matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_nullspace_vectors_annihilate(self, matrix):
+        basis = gf2.nullspace(matrix)
+        for vector in basis:
+            assert not np.any(gf2.matvec(matrix, vector))
+
+    @given(matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_nullity(self, matrix):
+        _, cols = matrix.shape
+        assert gf2.rank(matrix) + gf2.nullspace(matrix).shape[0] == cols
+
+
+class TestSolve:
+    @given(matrices, st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_solve_consistent_systems(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, size=matrix.shape[1]).astype(np.uint8)
+        b = gf2.matvec(matrix, x)
+        solution = gf2.solve(matrix, b)
+        assert solution is not None
+        assert np.array_equal(gf2.matvec(matrix, solution), b)
+
+    def test_inconsistent_returns_none(self):
+        matrix = np.array([[1, 0], [1, 0]])
+        assert gf2.solve(matrix, np.array([1, 0])) is None
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(CodeError):
+            gf2.solve(np.eye(2, dtype=np.uint8), np.array([1, 0, 0]))
+
+
+class TestProducts:
+    def test_matmul_mod2(self):
+        a = np.array([[1, 1], [0, 1]])
+        result = gf2.matmul(a, a)
+        assert np.array_equal(result, np.array([[1, 0], [0, 1]]))
+
+    def test_weight(self):
+        assert gf2.weight(np.array([1, 0, 1, 1])) == 3
+
+
+class TestCodewords:
+    def test_all_codewords_count(self):
+        generator = np.array([[1, 0, 1], [0, 1, 1]])
+        words = gf2.all_codewords(generator)
+        assert words.shape == (4, 3)
+
+    def test_zero_generator(self):
+        words = gf2.all_codewords(np.zeros((0, 3), dtype=np.uint8))
+        assert words.shape == (1, 3)
+
+    def test_refuses_huge(self):
+        with pytest.raises(CodeError):
+            gf2.all_codewords(np.eye(25, dtype=np.uint8))
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_codewords_closed_under_sum(self, matrix):
+        words = gf2.all_codewords(matrix)
+        word_set = {tuple(w) for w in words}
+        sample = words[: min(4, len(words))]
+        for a in sample:
+            for b in sample:
+                assert tuple((a ^ b)) in word_set

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import SteaneCode, TrivialCode
+
+
+@pytest.fixture(scope="session")
+def steane() -> SteaneCode:
+    """One Steane code instance shared across the session (its
+    logical-state construction is pure, so sharing is safe)."""
+    return SteaneCode()
+
+
+@pytest.fixture(scope="session")
+def trivial() -> TrivialCode:
+    return TrivialCode()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "veryslow: multi-minute Steane-scale simulations; "
+        "run with RUN_VERYSLOW=1",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    import os
+
+    if os.environ.get("RUN_VERYSLOW"):
+        return
+    skip = pytest.mark.skip(
+        reason="multi-minute Steane-scale run; set RUN_VERYSLOW=1"
+    )
+    for item in items:
+        if "veryslow" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,78 @@
+"""Tests for the ensemble readout signal model."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    EnsembleReadout,
+    ReadoutSignal,
+    expectation_from_samples,
+)
+from repro.exceptions import EnsembleViolationError
+
+
+class TestReadoutSignal:
+    def test_infer_bit_positive(self):
+        signal = ReadoutSignal(expectation=1.0, observed=0.9,
+                               noise_sigma=0.01)
+        assert signal.infer_bit() == 0
+
+    def test_infer_bit_negative(self):
+        signal = ReadoutSignal(expectation=-1.0, observed=-0.9,
+                               noise_sigma=0.01)
+        assert signal.infer_bit() == 1
+
+    def test_infer_bit_buried_in_noise(self):
+        signal = ReadoutSignal(expectation=0.0, observed=0.02,
+                               noise_sigma=0.01)
+        assert signal.infer_bit() is None
+
+    def test_confidence_parameter(self):
+        signal = ReadoutSignal(expectation=0.0, observed=0.03,
+                               noise_sigma=0.01)
+        assert signal.infer_bit(confidence_sigmas=2.0) == 0
+        assert signal.infer_bit(confidence_sigmas=5.0) is None
+
+
+class TestEnsembleReadout:
+    def test_noise_floor(self):
+        readout = EnsembleReadout(ensemble_size=10**4)
+        assert abs(readout.noise_sigma - 0.01) < 1e-12
+
+    def test_noiseless_mode(self):
+        readout = EnsembleReadout(noiseless=True)
+        signal = readout.observe(0.3)
+        assert signal.observed == 0.3
+        assert signal.noise_sigma == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EnsembleViolationError):
+            EnsembleReadout(ensemble_size=0)
+        readout = EnsembleReadout(noiseless=True)
+        with pytest.raises(EnsembleViolationError):
+            readout.observe(1.5)
+
+    def test_observe_all_and_read_bits(self):
+        readout = EnsembleReadout(ensemble_size=10**8,
+                                  rng=np.random.default_rng(0))
+        bits = readout.read_bits([1.0, -1.0, 0.0])
+        assert bits == [0, 1, None]
+
+    def test_noise_statistics(self):
+        readout = EnsembleReadout(ensemble_size=10**4,
+                                  rng=np.random.default_rng(1))
+        observations = [readout.observe(0.0).observed
+                        for _ in range(3000)]
+        assert abs(np.std(observations) - 0.01) < 0.002
+
+
+class TestExpectationFromSamples:
+    def test_mixed_samples(self):
+        assert abs(expectation_from_samples([0, 1, 0, 1])) < 1e-12
+
+    def test_all_zero(self):
+        assert expectation_from_samples([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EnsembleViolationError):
+            expectation_from_samples([])

@@ -1,0 +1,205 @@
+"""Mechanised checks of the paper's central error-flow arguments.
+
+Each test here is a sentence from the paper turned into a machine
+check over the actual gadget circuits:
+
+* "phase errors are transmitted from target bit to control bit, hence
+  cannot be transmitted from the classical ancilla (control) to the
+  quantum data (target)" — Sec. 4.2;
+* "the quantum ancilla never interacts with the quantum data in later
+  stages" — Sec. 4.1;
+* "if there are t bit errors in the repetition code, it will result
+  in t errors in the quantum data" — Sec. 4.2;
+* "bit errors are not transmitted from the classical to quantum
+  section" — Sec. 4.1.
+"""
+
+import pytest
+
+from repro.circuits import PauliString
+from repro.circuits.circuit import GateOp
+from repro.ft import (
+    build_n_gadget,
+    build_t_gadget,
+    expected_t_output,
+    sparse_logical_state,
+    t_gadget_inputs,
+)
+from repro.ft.ideal_recovery import recovered_block_overlap
+from repro.simulators import PauliPropagator
+
+
+class TestPhaseErrorsNeverReachData:
+    """Sec. 4.2's key claim, exhaustively: a Z fault on ANY classical
+    ancilla bit at ANY point of the T gadget never places a phase
+    error on the data block."""
+
+    def test_state_level_sweep(self, steane):
+        """Inject Z on every classical bit across the whole circuit
+        and demand the data block comes out EXACTLY right — no error
+        correction allowed, because the claim is that no phase error
+        ever touches it.  (The symbolic Pauli picture cannot show
+        this: Z on a Toffoli target conjugates to a diagonal
+        non-Pauli, which the wild-model over-approximates.)"""
+        from repro.ft.gadget import apply_circuit_with_faults
+
+        gadget = build_t_gadget(steane)
+        alpha, beta = 0.6, 0.8
+        data = sparse_logical_state(steane, {(0,): alpha, (1,): beta})
+        initial = gadget.initial_state(
+            t_gadget_inputs(gadget, steane, data)
+        )
+        expected = expected_t_output(steane, alpha, beta)
+        data_qubits = list(gadget.qubits("data"))
+        positions = list(range(-1, len(gadget.circuit), 7)) \
+            + [len(gadget.circuit) - 1]
+        checked = 0
+        for qubit in gadget.qubits("classical"):
+            fault = PauliString.single(gadget.num_qubits, qubit, "Z")
+            for after_op in positions:
+                state = initial.copy()
+                apply_circuit_with_faults(state, gadget.circuit,
+                                          [(fault, after_op)])
+                overlap = state.block_overlap(data_qubits, expected)
+                assert overlap > 1 - 1e-9, (
+                    f"Z on classical bit {qubit} after op {after_op} "
+                    f"disturbed the data block (overlap {overlap})"
+                )
+                checked += 1
+        assert checked == 7 * len(positions)
+
+    def test_x_on_classical_does_disturb_data(self, steane):
+        """Contrast: a BIT error on the classical ancilla does drive a
+        (single, correctable) error into the data — the direction the
+        repetition code is there to fight."""
+        from repro.ft.gadget import apply_circuit_with_faults
+
+        gadget = build_t_gadget(steane)
+        data = sparse_logical_state(steane, {(0,): 0.6, (1,): 0.8})
+        initial = gadget.initial_state(
+            t_gadget_inputs(gadget, steane, data)
+        )
+        expected = expected_t_output(steane, 0.6, 0.8)
+        classical_qubit = gadget.qubits("classical")[2]
+        fault = PauliString.single(gadget.num_qubits, classical_qubit,
+                                   "X")
+        injection_point = len(gadget.circuit) - steane.n - 1
+        state = initial.copy()
+        apply_circuit_with_faults(state, gadget.circuit,
+                                  [(fault, injection_point)])
+        direct = state.block_overlap(list(gadget.qubits("data")),
+                                     expected)
+        recovered = recovered_block_overlap(
+            state, list(gadget.qubits("data")), steane, expected
+        )
+        assert direct < 1 - 1e-6      # the bit error did reach data
+        assert recovered > 1 - 1e-9   # but stayed correctable
+
+    def test_phase_errors_may_reach_quantum_ancilla(self, steane):
+        """The same Z faults DO spread into the psi block — which the
+        paper declares harmless because that block is discarded."""
+        gadget = build_t_gadget(steane)
+        propagator = PauliPropagator(gadget.circuit)
+        psi = set(gadget.qubits("psi"))
+        fault = PauliString.single(gadget.num_qubits,
+                                   gadget.qubits("classical")[0], "Z")
+        result = propagator.propagate(fault, -1)
+        assert result.z_support() & psi
+
+
+class TestQuantumAncillaRetires:
+    """Sec. 4.1: after the N gate reads it, the psi block never
+    interacts with the data block again (structural check)."""
+
+    def test_no_late_psi_data_coupling(self, steane):
+        gadget = build_t_gadget(steane)
+        data = set(gadget.qubits("data"))
+        psi = set(gadget.qubits("psi"))
+        classical = set(gadget.qubits("classical"))
+        first_classical_op = None
+        last_joint_op = None
+        for index, op in enumerate(gadget.circuit.operations):
+            assert isinstance(op, GateOp)
+            touched = set(op.qubits)
+            if touched & classical and first_classical_op is None:
+                first_classical_op = index
+            if touched & data and touched & psi:
+                last_joint_op = index
+        assert first_classical_op is not None
+        assert last_joint_op is not None
+        assert last_joint_op < first_classical_op
+
+
+class TestClassicalBitErrorsBounded:
+    """Sec. 4.2: t bit errors on the classical ancilla yield at most
+    t (correctable, for t <= k) errors in the quantum data."""
+
+    @pytest.mark.parametrize("position", range(7))
+    def test_one_bit_error_one_data_error(self, steane, position):
+        gadget = build_t_gadget(steane)
+        alpha, beta = 0.6, 0.8
+        data = sparse_logical_state(steane, {(0,): alpha, (1,): beta})
+        initial = gadget.initial_state(
+            t_gadget_inputs(gadget, steane, data)
+        )
+        # Flip one classical bit right before the controlled-S stage
+        # (the last len(classical) ops are the bitwise CS gates).
+        classical_qubit = gadget.qubits("classical")[position]
+        fault = PauliString.single(gadget.num_qubits, classical_qubit,
+                                   "X")
+        injection_point = len(gadget.circuit) - steane.n - 1
+        from repro.ft.gadget import apply_circuit_with_faults
+
+        state = initial.copy()
+        apply_circuit_with_faults(state, gadget.circuit,
+                                  [(fault, injection_point)])
+        overlap = recovered_block_overlap(
+            state, list(gadget.qubits("data")), steane,
+            expected_t_output(steane, alpha, beta),
+        )
+        assert overlap > 1 - 1e-9
+
+    def test_two_bit_errors_can_defeat_the_code(self, steane):
+        gadget = build_t_gadget(steane)
+        data = sparse_logical_state(steane, {(0,): 0.6, (1,): 0.8})
+        initial = gadget.initial_state(
+            t_gadget_inputs(gadget, steane, data)
+        )
+        classical = gadget.qubits("classical")
+        injection_point = len(gadget.circuit) - steane.n - 1
+        fault = (PauliString.single(gadget.num_qubits, classical[0], "X")
+                 * PauliString.single(gadget.num_qubits, classical[1],
+                                      "X"))
+        from repro.ft.gadget import apply_circuit_with_faults
+
+        state = initial.copy()
+        apply_circuit_with_faults(state, gadget.circuit,
+                                  [(fault, injection_point)])
+        overlap = recovered_block_overlap(
+            state, list(gadget.qubits("data")), steane,
+            expected_t_output(steane, 0.6, 0.8),
+        )
+        assert overlap < 1 - 1e-6
+
+
+class TestBitErrorsStayOutOfQuantumSection:
+    """Sec. 4.1: bit errors on the classical side never propagate X
+    onto the quantum ancilla (CNOTs only ever point quantum ->
+    classical; the classical side only controls diagonal gates)."""
+
+    def test_symbolic_exhaustive_on_n_gadget(self, steane):
+        gadget = build_n_gadget(steane, variant="direct")
+        propagator = PauliPropagator(gadget.circuit)
+        quantum = set(gadget.qubits("quantum"))
+        for register_name in gadget.registers:
+            if register_name == "quantum":
+                continue
+            for qubit in gadget.qubits(register_name):
+                fault = PauliString.single(gadget.num_qubits, qubit,
+                                           "X")
+                result = propagator.propagate(fault, -1)
+                x_in_quantum = result.x_support() & quantum
+                # Wild qubits (Toffoli legs) may include classical
+                # scratch but must never include the quantum block.
+                assert not (x_in_quantum - result.wild_qubits) \
+                    and not (result.wild_qubits & quantum)

@@ -1,0 +1,102 @@
+"""Tests for fault-location enumeration."""
+
+import pytest
+
+from repro.circuits import Circuit, PauliString, gates
+from repro.exceptions import AnalysisError
+from repro.noise import count_locations, enumerate_locations
+from repro.noise.injection import run_with_faults
+from repro.simulators import StateVector
+
+
+def staircase() -> Circuit:
+    circuit = Circuit(3)
+    circuit.add_gate(gates.H, 0)
+    circuit.add_gate(gates.CNOT, 0, 1)
+    circuit.add_gate(gates.CNOT, 1, 2)
+    circuit.add_gate(gates.H, 0)  # q0 idles during CNOT(1,2)? no: ASAP
+    return circuit
+
+
+class TestEnumeration:
+    def test_kind_toggles(self):
+        circuit = staircase()
+        only_gates = enumerate_locations(circuit, include_inputs=False,
+                                         include_delays=False)
+        assert all(loc.kind == "gate" for loc in only_gates)
+        assert len(only_gates) == len(circuit)
+
+    def test_input_restriction(self):
+        circuit = staircase()
+        locations = enumerate_locations(circuit, include_gates=False,
+                                        include_delays=False,
+                                        input_qubits=[1])
+        assert len(locations) == 1
+        assert locations[0].qubits == (1,)
+        assert locations[0].after_op == -1
+
+    def test_gate_locations_reference_ops(self):
+        circuit = staircase()
+        locations = enumerate_locations(circuit, include_inputs=False,
+                                        include_delays=False)
+        assert locations[1].qubits == (0, 1)
+        assert locations[1].after_op == 1
+
+    def test_counts(self):
+        circuit = staircase()
+        counts = count_locations(circuit)
+        assert counts["gate"] == 4
+        assert counts["input"] == 3
+        assert counts["total"] == sum(
+            counts[k] for k in ("gate", "input", "delay")
+        )
+
+    def test_measurement_rejected(self):
+        circuit = Circuit(1, 1).measure(0, 0)
+        with pytest.raises(AnalysisError):
+            enumerate_locations(circuit)
+
+
+class TestDelayAnchoring:
+    def test_delay_location_exists_for_idle_qubit(self):
+        # q0: busy at moment 0, idle at moment 1, busy at moment 2.
+        circuit = Circuit(2)
+        circuit.add_gate(gates.X, 0)
+        circuit.add_gate(gates.X, 1)
+        circuit.add_gate(gates.X, 1)
+        circuit.add_gate(gates.CNOT, 0, 1)
+        delays = [loc for loc in enumerate_locations(circuit)
+                  if loc.kind == "delay"]
+        assert any(loc.qubits == (0,) for loc in delays)
+
+    def test_delay_fault_semantics(self):
+        """A delay fault must commute correctly into the run: inserting
+        it at its anchor equals inserting it 'during' the idle moment."""
+        circuit = Circuit(2)
+        circuit.add_gate(gates.X, 0)      # op0, moment 0
+        circuit.add_gate(gates.H, 1)      # op1, moment 0
+        circuit.add_gate(gates.H, 1)      # op2, moment 1 (q0 idle)
+        circuit.add_gate(gates.CNOT, 0, 1)  # op3, moment 2
+        delays = [loc for loc in enumerate_locations(circuit)
+                  if loc.kind == "delay" and loc.qubits == (0,)]
+        assert delays
+        location = delays[0]
+        fault = PauliString.single(2, 0, "X")
+        faulty = run_with_faults(circuit, [(fault, location.after_op)])
+        # Reference: X on q0 between op0 and op3 (same moment window).
+        reference = StateVector(2)
+        reference.apply_gate(gates.X, [0])
+        reference.apply_gate(gates.H, [1])
+        reference.apply_gate(gates.X, [0])  # the delay fault
+        reference.apply_gate(gates.H, [1])
+        reference.apply_gate(gates.CNOT, [0, 1])
+        assert faulty.fidelity(reference) > 1 - 1e-10
+
+    def test_fault_paulis_of_two_qubit_location(self):
+        circuit = Circuit(2)
+        circuit.add_gate(gates.CNOT, 0, 1)
+        location = enumerate_locations(circuit, include_inputs=False,
+                                       include_delays=False)[0]
+        faults = location.fault_paulis(2)
+        assert len(faults) == 15
+        assert all(not f.is_identity for f in faults)

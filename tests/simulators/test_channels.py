@@ -1,0 +1,92 @@
+"""Tests for the noise-channel definitions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulators import (
+    KrausChannel,
+    PauliChannel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    dephasing,
+    pauli_xz,
+    phase_flip,
+)
+
+
+class TestPauliChannels:
+    def test_bit_flip_terms(self):
+        channel = bit_flip(0.1)
+        assert channel.terms == ((0.1, "X"),)
+        assert abs(channel.identity_probability - 0.9) < 1e-12
+
+    def test_phase_flip(self):
+        assert phase_flip(0.2).terms == ((0.2, "Z"),)
+
+    def test_bit_phase_flip(self):
+        assert bit_phase_flip(0.3).terms == ((0.3, "Y"),)
+
+    def test_depolarizing_single(self):
+        channel = depolarizing(0.3)
+        labels = {label for _, label in channel.terms}
+        assert labels == {"X", "Y", "Z"}
+        assert abs(sum(p for p, _ in channel.terms) - 0.3) < 1e-12
+
+    def test_depolarizing_two_qubit(self):
+        channel = depolarizing(0.15, num_qubits=2)
+        assert len(channel.terms) == 15
+
+    def test_probability_validation(self):
+        with pytest.raises(SimulationError):
+            bit_flip(1.5)
+        with pytest.raises(SimulationError):
+            depolarizing(-0.1)
+
+    def test_overfull_channel_rejected(self):
+        with pytest.raises(SimulationError):
+            PauliChannel("bad", 1, ((0.7, "X"), (0.7, "Z")))
+
+    def test_label_length_checked(self):
+        with pytest.raises(SimulationError):
+            PauliChannel("bad", 2, ((0.1, "X"),))
+
+    def test_pauli_xz_includes_y(self):
+        channel = pauli_xz(0.1, 0.2)
+        labels = {label: p for p, label in channel.terms}
+        assert abs(labels["Y"] - 0.02) < 1e-12
+
+    def test_sampling_statistics(self):
+        channel = depolarizing(0.5)
+        rng = np.random.default_rng(0)
+        draws = [channel.sample(rng) for _ in range(4000)]
+        none_fraction = sum(1 for d in draws if d is None) / 4000
+        assert abs(none_fraction - 0.5) < 0.04
+
+    def test_enumerate_faults_skips_identity(self):
+        channel = depolarizing(0.3)
+        faults = channel.enumerate_faults()
+        assert all(label.strip("I") for _, label in faults)
+
+
+class TestKrausConversion:
+    def test_pauli_to_kraus_completeness(self):
+        kraus = depolarizing(0.2).to_kraus()
+        dim = 2
+        total = sum(op.conj().T @ op for op in kraus.operators)
+        assert np.allclose(total, np.eye(dim))
+
+    def test_kraus_completeness_enforced(self):
+        with pytest.raises(SimulationError):
+            KrausChannel("bad", 1, (np.eye(2) * 0.5,))
+
+    def test_amplitude_damping(self):
+        channel = amplitude_damping(0.3)
+        total = sum(op.conj().T @ op for op in channel.operators)
+        assert np.allclose(total, np.eye(2))
+
+    def test_dephasing_operators(self):
+        channel = dephasing(0.4)
+        assert len(channel.operators) == 3

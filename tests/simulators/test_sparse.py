@@ -1,0 +1,226 @@
+"""Tests for the sparse simulator, including dense cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, PauliString, gates
+from repro.exceptions import SimulationError
+from repro.simulators import SparseState, StateVector, run_unitary
+
+ALL_1Q = [gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.S_DG,
+          gates.T, gates.T_DG, gates.I]
+ALL_2Q = [gates.CNOT, gates.CZ, gates.CS, gates.CS_DG, gates.SWAP,
+          gates.CY]
+ALL_3Q = [gates.TOFFOLI, gates.CCZ, gates.FREDKIN]
+
+
+def random_circuit(num_qubits: int, depth: int, seed: int) -> Circuit:
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    for _ in range(depth):
+        draw = rng.random()
+        if draw < 0.5 or num_qubits < 2:
+            gate = ALL_1Q[rng.integers(len(ALL_1Q))]
+            circuit.add_gate(gate, int(rng.integers(num_qubits)))
+        elif draw < 0.85 or num_qubits < 3:
+            gate = ALL_2Q[rng.integers(len(ALL_2Q))]
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            circuit.add_gate(gate, int(a), int(b))
+        else:
+            gate = ALL_3Q[rng.integers(len(ALL_3Q))]
+            a, b, c = rng.choice(num_qubits, 3, replace=False)
+            circuit.add_gate(gate, int(a), int(b), int(c))
+    return circuit
+
+
+class TestDenseCrossCheck:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits_match_dense(self, seed):
+        circuit = random_circuit(5, 50, seed)
+        dense = run_unitary(circuit)
+        sparse = SparseState(5)
+        sparse.apply_circuit(circuit)
+        assert np.allclose(sparse.to_dense().amplitudes,
+                           dense.amplitudes, atol=1e-9)
+
+    @pytest.mark.parametrize("gate", ALL_1Q)
+    def test_single_qubit_fast_paths(self, gate):
+        for start in range(2):
+            dense = StateVector.from_basis_state([start, 0])
+            dense.apply_gate(gates.H, [1])
+            sparse = SparseState.from_dense(dense)
+            dense.apply_gate(gate, [0])
+            sparse.apply_gate(gate, [0])
+            assert np.allclose(sparse.to_dense().amplitudes,
+                               dense.amplitudes, atol=1e-10)
+
+    @pytest.mark.parametrize("gate", ALL_2Q + ALL_3Q)
+    def test_multi_qubit_fast_paths(self, gate):
+        size = gate.num_qubits
+        rng = np.random.default_rng(99)
+        raw = rng.normal(size=2**size) + 1j * rng.normal(size=2**size)
+        dense = StateVector.from_amplitudes(raw)
+        sparse = SparseState.from_dense(dense)
+        qubits = list(range(size))[::-1]  # reversed order exercises maps
+        dense.apply_gate(gate, qubits)
+        sparse.apply_gate(gate, qubits)
+        assert np.allclose(sparse.to_dense().amplitudes,
+                           dense.amplitudes, atol=1e-10)
+
+    def test_generic_gate_fallback(self):
+        gate = gates.ry(0.7)
+        dense = StateVector(2)
+        sparse = SparseState(2)
+        dense.apply_gate(gate, [1])
+        sparse.apply_gate(gate, [1])
+        assert np.allclose(sparse.to_dense().amplitudes,
+                           dense.amplitudes, atol=1e-10)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_circuits(self, seed):
+        circuit = random_circuit(4, 30, seed)
+        dense = run_unitary(circuit)
+        sparse = SparseState(4)
+        sparse.apply_circuit(circuit)
+        assert sparse.to_dense().fidelity(dense) > 1 - 1e-9
+
+
+class TestReadout:
+    def test_expectation_z_matches_dense(self):
+        circuit = random_circuit(4, 40, 5)
+        dense = run_unitary(circuit)
+        sparse = SparseState(4)
+        sparse.apply_circuit(circuit)
+        for qubit in range(4):
+            assert abs(sparse.expectation_z(qubit)
+                       - dense.expectation_z(qubit)) < 1e-9
+
+    def test_expectation_pauli(self):
+        sparse = SparseState(2)
+        sparse.apply_gate(gates.H, [0])
+        sparse.apply_gate(gates.CNOT, [0, 1])
+        value = sparse.expectation_pauli(PauliString.from_label("XX"))
+        assert abs(value.real - 1.0) < 1e-9
+
+    def test_measure_collapses(self):
+        rng = np.random.default_rng(2)
+        sparse = SparseState(2)
+        sparse.apply_gate(gates.H, [0])
+        sparse.apply_gate(gates.CNOT, [0, 1])
+        outcome = sparse.measure(0, rng)
+        assert sparse.probability_of_outcome(1, outcome) > 1 - 1e-9
+
+    def test_project_impossible(self):
+        with pytest.raises(SimulationError):
+            SparseState(1).project(0, 1)
+
+
+class TestRegisterOps:
+    def test_allocate_release(self):
+        sparse = SparseState.from_basis_state([1, 0])
+        new = sparse.allocate(2)
+        assert new == [2, 3]
+        assert sparse.num_qubits == 4
+        sparse.release(new)
+        assert sparse.num_qubits == 2
+        assert sparse.terms() == {0b10: 1.0}
+
+    def test_release_refuses_nonzero(self):
+        sparse = SparseState.from_basis_state([1])
+        with pytest.raises(SimulationError):
+            sparse.release([0])
+
+    def test_tensor(self):
+        a = SparseState.from_basis_state([1])
+        b = SparseState(1)
+        b.apply_gate(gates.H, [0])
+        joined = a.tensor(b)
+        terms = joined.terms()
+        assert set(terms) == {0b10, 0b11}
+
+    def test_release_middle_qubit(self):
+        sparse = SparseState.from_basis_state([1, 0, 1])
+        sparse.release([1])
+        assert sparse.terms() == {0b11: 1.0}
+
+
+class TestWideRegisters:
+    """The object-dtype fallback beyond 64 qubits."""
+
+    def test_wide_register_basics(self):
+        sparse = SparseState(70)
+        sparse.apply_gate(gates.H, [0])
+        sparse.apply_gate(gates.CNOT, [0, 69])
+        assert sparse.num_terms == 2
+        assert abs(sparse.expectation_z(69)) < 1e-12
+        assert abs(sparse.expectation_z(34) - 1.0) < 1e-12
+
+    def test_wide_matches_narrow_logic(self):
+        # Same circuit on qubits (0..4) of a 70-qubit register vs a
+        # 5-qubit register: per-qubit expectations must agree.
+        circuit = random_circuit(5, 30, 11)
+        narrow = SparseState(5)
+        narrow.apply_circuit(circuit)
+        wide = SparseState(70)
+        wide.apply_circuit(circuit, qubits=[65, 66, 67, 68, 69])
+        for qubit in range(5):
+            assert abs(narrow.expectation_z(qubit)
+                       - wide.expectation_z(65 + qubit)) < 1e-9
+
+    def test_wide_toffoli(self):
+        sparse = SparseState(100)
+        sparse.apply_gate(gates.X, [10])
+        sparse.apply_gate(gates.X, [50])
+        sparse.apply_gate(gates.TOFFOLI, [10, 50, 99])
+        assert abs(sparse.expectation_z(99) + 1.0) < 1e-12
+
+    def test_register_cap(self):
+        with pytest.raises(SimulationError):
+            SparseState(500)
+
+
+class TestBlockOverlap:
+    def test_pure_disentangled_block(self):
+        block = SparseState(1)
+        block.apply_gate(gates.H, [0])
+        state = block.tensor(SparseState.from_basis_state([1, 0]))
+        assert abs(state.block_overlap([0], block) - 1.0) < 1e-12
+
+    def test_entangled_block_penalised(self):
+        state = SparseState(2)
+        state.apply_gate(gates.H, [0])
+        state.apply_gate(gates.CNOT, [0, 1])
+        plus = SparseState(1)
+        plus.apply_gate(gates.H, [0])
+        assert state.block_overlap([0], plus) < 0.75
+
+    def test_junk_entanglement_allowed(self):
+        # Block in |1>, junk qubits in a Bell pair: overlap must be 1.
+        junk = SparseState(2)
+        junk.apply_gate(gates.H, [0])
+        junk.apply_gate(gates.CNOT, [0, 1])
+        state = SparseState.from_basis_state([1]).tensor(junk)
+        target = SparseState.from_basis_state([1])
+        assert abs(state.block_overlap([0], target) - 1.0) < 1e-12
+
+    def test_wrong_block_state(self):
+        state = SparseState.from_basis_state([1])
+        target = SparseState.from_basis_state([0])
+        assert state.block_overlap([0], target) < 1e-12
+
+
+class TestEquality:
+    def test_equals_up_to_phase(self):
+        a = SparseState.from_terms(1, {0: 1.0})
+        b = SparseState.from_terms(1, {0: 1j})
+        assert a.equals(b)
+        assert not a.equals(b, up_to_global_phase=False)
+
+    def test_inner(self):
+        a = SparseState(1)
+        b = SparseState(1)
+        b.apply_gate(gates.H, [0])
+        assert abs(a.inner(b) - 1 / np.sqrt(2)) < 1e-12

@@ -1,0 +1,93 @@
+"""Public-API integrity checks: every exported name resolves, the
+package metadata is consistent, and the examples at least compile."""
+
+import importlib
+import pathlib
+import py_compile
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.algorithms",
+    "repro.analysis",
+    "repro.circuits",
+    "repro.codes",
+    "repro.codes.classical",
+    "repro.codes.quantum",
+    "repro.ensemble",
+    "repro.ft",
+    "repro.noise",
+    "repro.simulators",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), module_name
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+    def test_all_sorted(self, module_name):
+        module = importlib.import_module(module_name)
+        assert list(module.__all__) == sorted(module.__all__), \
+            module_name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exception_hierarchy(self):
+        from repro.exceptions import (
+            AnalysisError,
+            CircuitError,
+            CodeError,
+            DecodingFailure,
+            EnsembleViolationError,
+            FaultToleranceError,
+            GateError,
+            ReproError,
+            SimulationError,
+        )
+
+        for exc in (AnalysisError, CircuitError, CodeError,
+                    DecodingFailure, EnsembleViolationError,
+                    FaultToleranceError, GateError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("script", sorted(
+        pathlib.Path(__file__).resolve().parent.parent
+        .joinpath("examples").glob("*.py")
+    ), ids=lambda p: p.name)
+    def test_compiles(self, script, tmp_path):
+        py_compile.compile(str(script),
+                           cfile=str(tmp_path / "out.pyc"),
+                           doraise=True)
+
+    def test_expected_example_set(self):
+        examples = pathlib.Path(__file__).resolve().parent.parent \
+            / "examples"
+        names = {p.name for p in examples.glob("*.py")}
+        assert {"quickstart.py", "ensemble_algorithms.py",
+                "fault_tolerant_t_gate.py",
+                "measurement_free_toffoli.py", "error_recovery.py",
+                "algorithmic_cooling.py",
+                "logical_program.py"} <= names
+
+
+class TestDocumentationPresence:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_module_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+    def test_repo_docs_exist(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            path = root / name
+            assert path.exists() and path.stat().st_size > 1000, name

@@ -42,6 +42,17 @@ def series_lines(header: Sequence[str],
     return lines
 
 
+def engine_stats_lines(stats: Optional[object]) -> List[str]:
+    """Render a :class:`repro.analysis.engine.EngineStats` block.
+
+    Accepts ``None`` (serial path) so benchmarks can report whatever
+    execution path they actually took.
+    """
+    if stats is None:
+        return ["engine: serial path (no engine stats)"]
+    return stats.summary_lines()
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:

@@ -27,7 +27,7 @@ from repro.codes import SteaneCode
 from repro.ft import build_n_gadget, sparse_coset_state
 from repro.noise import NoiseModel
 
-from _harness import report, series_lines
+from _harness import engine_stats_lines, report, series_lines
 
 P_GRID = (2e-4, 5e-4, 1e-3, 2e-3)
 MC_P = 2e-3
@@ -51,21 +51,25 @@ def test_fig1_report(benchmark, context):
 
     def run_experiment():
         failures = exhaustive_single_faults_sparse(
-            gadget, initial, evaluator, locations=locations
+            gadget, initial, evaluator, locations=locations,
+            workers=2,
         )
         pair_sample = sample_malignant_pairs(
-            gadget, initial, evaluator, samples=500, seed=7
+            gadget, initial, evaluator, samples=500, seed=7,
+            locations=locations, workers=2,
         )
         mc = gadget_monte_carlo(gadget, initial, evaluator,
                                 NoiseModel.uniform(MC_P),
                                 trials=MC_TRIALS, seed=11,
-                                locations=locations)
+                                locations=locations,
+                                workers=2, memoize=True)
         return failures, pair_sample, mc
 
     failures, pair_sample, mc = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1
     )
     m_eff = pair_sample.estimated_malignant_pairs
+    threshold = pair_sample.threshold_estimate
     rows = [(p, m_eff * p * p) for p in P_GRID]
     fit = fit_power_law(P_GRID, [r for _, r in rows])
     report("E1 / Fig. 1 — N gate (quantum-to-classical CNOT)", [
@@ -78,7 +82,7 @@ def test_fig1_report(benchmark, context):
         f"single faults (paper claim: 0)",
         f"sampled two-fault malignancy: {pair_sample.malignant}/"
         f"{pair_sample.samples} -> M_eff ~ {m_eff:.0f} pairs, "
-        f"p_th ~ {pair_sample.threshold_estimate:.1e}",
+        f"p_th ~ " + (f"{threshold:.1e}" if threshold else "-"),
         "",
         "predicted failure rate M_eff * p^2 (the counting method):",
         *series_lines(("p", "predicted"), rows),
@@ -88,6 +92,8 @@ def test_fig1_report(benchmark, context):
         f"rate {mc.failure_rate:.2e} +- {mc.stderr:.1e} "
         f"(prediction {m_eff * MC_P**2:.2e}); "
         f"single-fault failures in MC: {mc.single_fault_failures}",
+        "",
+        *engine_stats_lines(mc.engine_stats),
     ])
     assert failures == []
     assert mc.single_fault_failures == 0

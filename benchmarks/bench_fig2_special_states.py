@@ -83,7 +83,8 @@ def test_fig2_fault_scope(benchmark):
     def run_experiment():
         locations = _default_locations(gadget)
         failures = exhaustive_single_faults_sparse(
-            gadget, initial, evaluator, locations=locations
+            gadget, initial, evaluator, locations=locations,
+            workers=2,
         )
         failing_locations = {
             (loc.kind, loc.detail) for loc, _ in failures

@@ -31,7 +31,7 @@ from repro.ft import (
 )
 from repro.noise import NoiseModel
 
-from _harness import report, series_lines
+from _harness import engine_stats_lines, report, series_lines
 
 P_GRID = (2e-4, 5e-4, 1e-3, 2e-3)
 MC_P = 2e-3
@@ -64,18 +64,21 @@ def test_fig3_report(benchmark, context):
             clean, "data", expected_t_output(code, ALPHA, BETA)
         )
         pair_sample = sample_malignant_pairs(
-            gadget, initial, evaluator, samples=350, seed=31
+            gadget, initial, evaluator, samples=350, seed=31,
+            locations=locations, workers=2,
         )
         mc = gadget_monte_carlo(gadget, initial, evaluator,
                                 NoiseModel.uniform(MC_P),
                                 trials=MC_TRIALS, seed=32,
-                                locations=locations)
+                                locations=locations,
+                                workers=2, memoize=True)
         return overlap, pair_sample, mc
 
     overlap, pair_sample, mc = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1
     )
     m_eff = pair_sample.estimated_malignant_pairs
+    threshold = pair_sample.threshold_estimate
     rows = [(p, m_eff * p * p) for p in P_GRID]
     fit = fit_power_law(P_GRID, [r for _, r in rows])
     report("E3 / Fig. 3 — measurement-free sigma_z^{1/4}", [
@@ -85,7 +88,7 @@ def test_fig3_report(benchmark, context):
         "",
         f"sampled two-fault malignancy: {pair_sample.malignant}/"
         f"{pair_sample.samples} -> M_eff ~ {m_eff:.0f}, "
-        f"p_th ~ {pair_sample.threshold_estimate:.1e}",
+        f"p_th ~ " + (f"{threshold:.1e}" if threshold else "-"),
         "predicted failure rate M_eff * p^2:",
         *series_lines(("p", "predicted"), rows),
         f"log-log slope: {fit.exponent:.2f} (paper: 2)",
@@ -97,6 +100,8 @@ def test_fig3_report(benchmark, context):
         "exhaustive single-fault certification (0 failures over every",
         "input/gate/delay location) runs in the test-suite:",
         "tests/ft/test_t_gadget.py::TestFaultTolerance",
+        "",
+        *engine_stats_lines(mc.engine_stats),
     ])
     assert overlap > 1 - 1e-9
     assert mc.single_fault_failures == 0

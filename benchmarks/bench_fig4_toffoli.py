@@ -92,7 +92,8 @@ def test_fig4_steane_counting(benchmark):
                            sparse_coset_state(trivial, 0)),
         )
         sample = sample_malignant_pairs(small, initial, evaluator,
-                                        samples=400, seed=41)
+                                        samples=400, seed=41,
+                                        workers=2)
         return counts, sample
 
     counts, sample = benchmark.pedantic(run_experiment, rounds=1,

@@ -30,7 +30,7 @@ from repro.ft import (
 from repro.ft.gadget import apply_circuit_with_faults
 from repro.noise import NoiseModel
 
-from _harness import report, series_lines
+from _harness import engine_stats_lines, report, series_lines
 
 P_GRID = (2e-4, 5e-4, 1e-3, 2e-3)
 MC_P = 2e-3
@@ -104,20 +104,24 @@ def test_sec5_internal_fault_tolerance(benchmark, context):
 
     def run_experiment():
         failures = exhaustive_single_faults_sparse(
-            gadget, initial, evaluator, locations=locations
+            gadget, initial, evaluator, locations=locations,
+            workers=2,
         )
         pair_sample = sample_malignant_pairs(
-            gadget, initial, evaluator, samples=400, seed=51
+            gadget, initial, evaluator, samples=400, seed=51,
+            locations=locations, workers=2,
         )
         mc = gadget_monte_carlo(gadget, initial, evaluator,
                                 NoiseModel.uniform(MC_P), trials=900,
-                                seed=52, locations=locations)
+                                seed=52, locations=locations,
+                                workers=2, memoize=True)
         return failures, pair_sample, mc
 
     failures, pair_sample, mc = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1
     )
     m_eff = pair_sample.estimated_malignant_pairs
+    threshold = pair_sample.threshold_estimate
     rows = [(p, m_eff * p * p) for p in P_GRID]
     fit = fit_power_law(P_GRID, [r for _, r in rows])
     report("E5 / Sec. 5 — X-recovery gadget fault tolerance", [
@@ -126,13 +130,15 @@ def test_sec5_internal_fault_tolerance(benchmark, context):
         f"exhaustive single-fault survey: {len(failures)} malignant",
         f"sampled two-fault malignancy: {pair_sample.malignant}/"
         f"{pair_sample.samples} -> M_eff ~ {m_eff:.0f}, "
-        f"p_th ~ {pair_sample.threshold_estimate:.1e}",
+        f"p_th ~ " + (f"{threshold:.1e}" if threshold else "-"),
         "predicted residual-failure rate M_eff * p^2:",
         *series_lines(("p", "predicted"), rows),
         f"log-log slope: {fit.exponent:.2f} (paper: 2)",
         f"Monte-Carlo at p={MC_P}: {mc.failure_rate:.2e} "
         f"+- {mc.stderr:.1e}; single-fault failures: "
         f"{mc.single_fault_failures}",
+        "",
+        *engine_stats_lines(mc.engine_stats),
     ])
     assert failures == []
     assert mc.single_fault_failures == 0

@@ -14,14 +14,19 @@ every gadget, and runs the design ablations DESIGN.md calls out:
   over-counts.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.analysis import (
     GadgetFaultAnalyzer,
     exhaustive_single_faults_sparse,
+    gadget_monte_carlo,
     n_gadget_evaluator,
     sample_malignant_pairs,
+    sampled_threshold_report,
 )
 from repro.analysis.montecarlo import _default_locations
 from repro.circuits import Circuit, PauliString, gates
@@ -29,9 +34,16 @@ from repro.codes import SteaneCode
 from repro.ft import build_n_gadget, build_recovery_gadget, \
     build_t_gadget, sparse_coset_state
 from repro.ft.ngate import append_n1
-from repro.noise import count_locations
+from repro.noise import NoiseModel, count_locations
 
-from _harness import report, series_lines
+from _harness import engine_stats_lines, report, series_lines
+
+#: Default workload for the engine speedup bench; override with
+#: BENCH_ENGINE_TRIALS for CI smoke runs (the >= 2x assertion only
+#: applies at full scale).
+SPEEDUP_TRIALS = int(os.environ.get("BENCH_ENGINE_TRIALS", "6000"))
+SPEEDUP_P = 5e-4
+SPEEDUP_WORKERS = 4
 
 
 def test_threshold_table(benchmark):
@@ -49,32 +61,101 @@ def test_threshold_table(benchmark):
 
     def run_experiment():
         rows = []
-        for variant in ("direct", "voted"):
+        stats_lines = []
+        for index, variant in enumerate(("direct", "voted")):
             gadget, initial, evaluator = analyze_n(variant)
             locations = _default_locations(gadget)
-            failures = exhaustive_single_faults_sparse(
-                gadget, initial, evaluator, locations=locations
+            threshold_report = sampled_threshold_report(
+                gadget, initial, evaluator, samples=400,
+                seed=61 + index, locations=locations,
+                workers=2,
             )
-            sample = sample_malignant_pairs(gadget, initial, evaluator,
-                                            samples=400,
-                                            seed=61 + len(rows))
-            threshold = sample.threshold_estimate
+            threshold = threshold_report.threshold_estimate
             rows.append((
-                gadget.name, len(locations), len(failures),
-                f"{sample.estimated_malignant_pairs:.0f}",
+                gadget.name,
+                threshold_report.location_counts["total"],
+                threshold_report.single_fault_failures,
+                threshold_report.malignant_pairs,
                 f"{threshold:.1e}" if threshold else "-",
             ))
-        return rows
+            stats_lines.append(f"[{gadget.name}]")
+            stats_lines.extend(
+                engine_stats_lines(threshold_report.engine_stats)
+            )
+        return rows, stats_lines
 
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows, stats_lines = benchmark.pedantic(run_experiment, rounds=1,
+                                           iterations=1)
     report("E7 — thresholds by counting (exact, state-based)", [
         *series_lines(("gadget", "locations", "1-fault fails",
                        "M_eff (sampled)", "p_th ~ 1/M"), rows),
         "",
         "failure model: P_fail <= M_eff p^2; threshold where the",
         "gadget stops helping: p_th ~ 1/M_eff (paper Sec. 4.2)",
+        "",
+        *stats_lines,
     ])
     assert all(row[2] == 0 for row in rows)
+
+
+def test_engine_speedup(benchmark):
+    """Acceptance bench: the parallel engine with memoization beats
+    the serial loop by >= 2x wall-clock on the same seeded workload.
+
+    At low p most non-empty samples are repeated single-fault
+    patterns, so the fault-pattern cache collapses the dominant
+    simulation cost; the worker pool and vectorised strike sampling
+    carry the rest.
+    """
+    code = SteaneCode()
+    gadget = build_n_gadget(code, variant="direct")
+    initial = gadget.initial_state(
+        {"quantum": sparse_coset_state(code, 0)}
+    )
+    evaluator = n_gadget_evaluator(gadget, code, 0)
+    locations = _default_locations(gadget)
+    noise = NoiseModel.uniform(SPEEDUP_P)
+
+    def run_experiment():
+        start = time.perf_counter()
+        serial = gadget_monte_carlo(
+            gadget, initial, evaluator, noise, SPEEDUP_TRIALS,
+            seed=71, locations=locations,
+        )
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        fast = gadget_monte_carlo(
+            gadget, initial, evaluator, noise, SPEEDUP_TRIALS,
+            seed=71, locations=locations,
+            workers=SPEEDUP_WORKERS, memoize=True,
+        )
+        engine_seconds = time.perf_counter() - start
+        return serial, serial_seconds, fast, engine_seconds
+
+    serial, serial_seconds, fast, engine_seconds = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    speedup = serial_seconds / engine_seconds
+    stats = fast.engine_stats
+    report("E7 — engine speedup (serial loop vs parallel engine)", [
+        f"workload: {gadget.name}, p={SPEEDUP_P}, "
+        f"trials={SPEEDUP_TRIALS}, {len(locations)} locations",
+        f"serial loop:     {serial_seconds:.2f}s "
+        f"({SPEEDUP_TRIALS / serial_seconds:.0f} trials/s)",
+        f"engine (workers={SPEEDUP_WORKERS}, memoized): "
+        f"{engine_seconds:.2f}s "
+        f"({SPEEDUP_TRIALS / engine_seconds:.0f} trials/s)",
+        f"speedup: {speedup:.2f}x",
+        "",
+        *engine_stats_lines(stats),
+        "",
+        f"failure rates: serial {serial.failure_rate:.2e}, "
+        f"engine {fast.failure_rate:.2e} (distinct RNG streams; both "
+        f"paths are separately seed-stable)",
+    ])
+    assert fast.single_fault_failures == 0
+    if SPEEDUP_TRIALS >= 4000:
+        assert speedup >= 2.0
 
 
 def test_ablation_syndrome_check_bits(benchmark):
@@ -131,7 +212,7 @@ def test_ablation_symbolic_vs_exact(benchmark):
         )
         evaluator = n_gadget_evaluator(gadget, code, 0)
         exact = exhaustive_single_faults_sparse(gadget, initial,
-                                                evaluator)
+                                                evaluator, workers=2)
         return len(survey.failures), len(exact)
 
     symbolic, exact = benchmark.pedantic(run_experiment, rounds=1,

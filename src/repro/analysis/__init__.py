@@ -1,5 +1,14 @@
 """Fault analysis: propagation surveys, counting thresholds, scaling."""
 
+from repro.analysis.engine import (
+    DEFAULT_CHUNK_SIZE,
+    EngineStats,
+    ExhaustiveSurvey,
+    FaultPatternCache,
+    ProgressEvent,
+    canonical_pattern,
+    evaluate_fault_pattern,
+)
 from repro.analysis.evaluators import (
     classical_block_value_evaluator,
     n_gadget_evaluator,
@@ -25,18 +34,29 @@ from repro.analysis.scaling import (
     scaling_is_linear,
     scaling_is_quadratic,
 )
-from repro.analysis.threshold import ThresholdReport, analyze_gadget
+from repro.analysis.threshold import (
+    ThresholdReport,
+    analyze_gadget,
+    sampled_threshold_report,
+)
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "EngineStats",
+    "ExhaustiveSurvey",
+    "FaultPatternCache",
     "GadgetFaultAnalyzer",
     "GadgetMonteCarloResult",
     "MalignantPairSample",
     "PowerLawFit",
+    "ProgressEvent",
     "ResidualSignature",
     "SingleFaultSurvey",
     "ThresholdReport",
     "analyze_gadget",
+    "canonical_pattern",
     "classical_block_value_evaluator",
+    "evaluate_fault_pattern",
     "exhaustive_single_faults_sparse",
     "fit_power_law",
     "format_series",
@@ -44,6 +64,7 @@ __all__ = [
     "n_gadget_evaluator",
     "recovered_overlap_evaluator",
     "sample_malignant_pairs",
+    "sampled_threshold_report",
     "scaling_is_linear",
     "scaling_is_quadratic",
     "sweep_p",

@@ -1,0 +1,624 @@
+"""Parallel fault-injection execution engine.
+
+Every O(p^2) curve and threshold estimate in the reproduction is a
+statistical statement over a huge fault-sample space (Shor
+quant-ph/9605011, Preskill quant-ph/9712048), produced until now by
+the strictly serial loops in :mod:`repro.analysis.montecarlo`.  This
+module is the scalable replacement.  It runs the same three workloads
+— stochastic Monte-Carlo trials, exhaustive single-fault enumeration
+and malignant-pair sampling — through a shared three-phase schedule:
+
+1. **Sample** (parent process, deterministic).  Trials are split into
+   fixed-size chunks; chunk ``c`` draws its faults from an RNG seeded
+   with ``SeedSequence(seed).spawn(n_chunks)[c]``.  The chunk layout
+   depends only on ``(seed, trials, chunk_size)``, never on the worker
+   count, so a seeded run is bit-identical for ``workers=1`` and
+   ``workers=64``.  Location strike draws are vectorised.
+2. **Deduplicate.**  Each sampled fault set is canonicalised to a
+   sorted ``((pauli, after_op), ...)`` tuple.  At low p most non-empty
+   samples are single-fault repeats, so the number of *distinct*
+   patterns is far below the number of trials; verdicts are reused
+   through a :class:`FaultPatternCache` instead of re-running the
+   sparse simulator.  Deduplication happens in the parent, so workers
+   never simulate the same pattern twice regardless of scheduling.
+3. **Evaluate** (worker pool).  Only cache-missing patterns are
+   simulated, fanned out across a ``multiprocessing`` fork pool in
+   chunks.  Verdicts are independent booleans, so evaluation order
+   cannot affect results.
+
+Caching assumes evaluators are *phase-insensitive*: two fault lists
+with the same canonical pattern can differ by a global phase (Paulis
+inserted at the same point in either order), which every shipped
+evaluator — overlap magnitudes and basis-term predicates — ignores.
+
+The platform must support ``fork`` for ``workers > 1`` (fork lets
+workers inherit the gadget/evaluator closures without pickling); where
+it is unavailable the engine transparently degrades to in-process
+evaluation with identical results.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.circuits.pauli import PauliString
+from repro.exceptions import AnalysisError
+from repro.ft.gadget import Gadget, apply_circuit_with_faults
+from repro.noise.locations import FaultLocation
+from repro.noise.model import NoiseModel
+from repro.simulators.sparse import SparseState
+
+#: One concrete fault: (pauli, after_op) exactly as the injector takes it.
+Fault = Tuple[PauliString, int]
+#: Canonicalised fault set (sorted tuple of faults) — the cache key.
+FaultPattern = Tuple[Fault, ...]
+
+#: Default number of trials sampled per RNG chunk.  Part of the
+#: determinism contract: results depend on (seed, trials, chunk_size).
+DEFAULT_CHUNK_SIZE = 256
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: Fork-inherited evaluation context for pool workers (set in the
+#: parent immediately before the pool is created; children copy it at
+#: fork time, so nothing unpicklable ever crosses the pipe).
+_WORKER_CONTEXT: Optional["_EvalContext"] = None
+
+
+def _fault_sort_key(fault: Fault) -> Tuple[int, Tuple[int, ...],
+                                           Tuple[int, ...], int]:
+    pauli, after_op = fault
+    return (after_op, pauli.x_bits, pauli.z_bits, pauli.phase)
+
+
+def canonical_pattern(faults: Sequence[Fault]) -> FaultPattern:
+    """Order-independent canonical form of a sampled fault set."""
+    return tuple(sorted(faults, key=_fault_sort_key))
+
+
+def evaluate_fault_pattern(gadget: Gadget, initial_state: SparseState,
+                           evaluator: Callable[[SparseState], bool],
+                           faults: Sequence[Fault]) -> bool:
+    """Fresh (uncached) simulation of one fault pattern."""
+    state = initial_state.copy()
+    apply_circuit_with_faults(state, gadget.circuit, list(faults))
+    return bool(evaluator(state))
+
+
+class FaultPatternCache:
+    """Memoised verdicts keyed by canonical fault pattern.
+
+    Verdicts depend only on the fault pattern (the gadget, input state
+    and evaluator are fixed per cache), not on the error rate p, so
+    one cache can be shared across an entire p sweep.
+    """
+
+    def __init__(self) -> None:
+        self._verdicts: Dict[FaultPattern, bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def __contains__(self, pattern: FaultPattern) -> bool:
+        return pattern in self._verdicts
+
+    def get(self, pattern: FaultPattern) -> Optional[bool]:
+        return self._verdicts.get(pattern)
+
+    def store(self, pattern: FaultPattern, verdict: bool) -> None:
+        self._verdicts[pattern] = bool(verdict)
+
+    def items(self):
+        """(pattern, verdict) pairs, in first-stored order."""
+        return self._verdicts.items()
+
+    def clear(self) -> None:
+        self._verdicts.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class ChunkTiming:
+    """Wall-clock record for one evaluation chunk."""
+
+    index: int
+    patterns: int
+    seconds: float
+    worker_pid: int
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Passed to the ``progress`` callback after each chunk completes.
+
+    ``phase`` is 'sample' or 'evaluate'; ``done``/``total`` count work
+    items (trials for sampling, patterns for evaluation).
+    """
+
+    phase: str
+    done: int
+    total: int
+    chunk_index: int
+    chunks_total: int
+    elapsed_seconds: float
+
+
+@dataclass
+class EngineStats:
+    """Per-run instrumentation surfaced through benchmark reports."""
+
+    trials: int = 0
+    requests: int = 0       # verdict lookups (non-empty trials/samples)
+    evaluations: int = 0    # fresh simulator runs
+    cache_hits: int = 0
+    distinct_patterns: int = 0
+    chunks: int = 0
+    workers: int = 1
+    sample_seconds: float = 0.0
+    eval_seconds: float = 0.0
+    total_seconds: float = 0.0
+    worker_busy_seconds: float = 0.0
+    chunk_timings: List[ChunkTiming] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.trials / self.total_seconds
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy time across workers / (evaluation wall time * workers)."""
+        denominator = self.eval_seconds * max(self.workers, 1)
+        if denominator <= 0:
+            return 0.0
+        return min(1.0, self.worker_busy_seconds / denominator)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable block for benchmark reports."""
+        return [
+            f"engine: {self.trials} trials in {self.total_seconds:.2f}s "
+            f"({self.trials_per_second:.0f} trials/s), "
+            f"workers={self.workers}, chunks={self.chunks}",
+            f"  cache: {self.cache_hits}/{self.requests} hits "
+            f"({100 * self.cache_hit_rate:.1f}%), "
+            f"{self.evaluations} simulator runs over "
+            f"{self.distinct_patterns} distinct patterns",
+            f"  timing: sample {self.sample_seconds:.2f}s, "
+            f"evaluate {self.eval_seconds:.2f}s, "
+            f"worker utilization {100 * self.worker_utilization:.0f}%",
+        ]
+
+
+@dataclass
+class ExhaustiveSurvey:
+    """Result of an engine-driven exhaustive single-fault sweep."""
+
+    failures: List[Tuple[FaultLocation, PauliString]]
+    checked: int
+    stats: EngineStats
+
+
+class _EvalContext:
+    """Everything a worker needs to turn a pattern into a verdict."""
+
+    def __init__(self, gadget: Gadget, initial_state: SparseState,
+                 evaluator: Callable[[SparseState], bool]) -> None:
+        self.gadget = gadget
+        self.initial_state = initial_state
+        self.evaluator = evaluator
+
+    def evaluate(self, pattern: FaultPattern) -> bool:
+        return evaluate_fault_pattern(self.gadget, self.initial_state,
+                                      self.evaluator, pattern)
+
+
+def _eval_chunk(task: Tuple[int, List[FaultPattern]]
+                ) -> Tuple[int, List[bool], float, int]:
+    """Pool entry point: evaluate one chunk via the forked context."""
+    index, patterns = task
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - defensive
+        raise AnalysisError("engine worker started without a context")
+    start = time.perf_counter()
+    verdicts = [context.evaluate(pattern) for pattern in patterns]
+    return index, verdicts, time.perf_counter() - start, os.getpid()
+
+
+def _chunk_slices(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    return [(start, min(start + chunk_size, total))
+            for start in range(0, total, chunk_size)]
+
+
+def _evaluate_patterns(context: _EvalContext,
+                       patterns: List[FaultPattern],
+                       workers: int,
+                       chunk_size: int,
+                       stats: EngineStats,
+                       progress: Optional[Callable[[ProgressEvent], None]],
+                       ) -> List[bool]:
+    """Verdicts for ``patterns``, fanned out when ``workers > 1``.
+
+    Evaluation chunking never affects results (verdicts are
+    independent), only scheduling granularity.
+    """
+    verdicts: List[bool] = [False] * len(patterns)
+    if not patterns:
+        return verdicts
+    slices = _chunk_slices(len(patterns), chunk_size)
+    tasks = [(i, patterns[lo:hi]) for i, (lo, hi) in enumerate(slices)]
+    pool_workers = min(workers, len(tasks))
+    use_pool = pool_workers > 1 and _HAS_FORK
+    stats.workers = max(stats.workers, pool_workers if use_pool else 1)
+    start = time.perf_counter()
+    done_patterns = 0
+
+    def _record(index: int, chunk_verdicts: List[bool],
+                seconds: float, pid: int) -> None:
+        nonlocal done_patterns
+        lo, hi = slices[index]
+        verdicts[lo:hi] = chunk_verdicts
+        done_patterns += hi - lo
+        stats.worker_busy_seconds += seconds
+        stats.chunk_timings.append(ChunkTiming(
+            index=index, patterns=hi - lo, seconds=seconds,
+            worker_pid=pid,
+        ))
+        if progress is not None:
+            progress(ProgressEvent(
+                phase="evaluate", done=done_patterns,
+                total=len(patterns), chunk_index=index,
+                chunks_total=len(tasks),
+                elapsed_seconds=time.perf_counter() - start,
+            ))
+
+    if use_pool:
+        global _WORKER_CONTEXT
+        _WORKER_CONTEXT = context
+        try:
+            fork = multiprocessing.get_context("fork")
+            with fork.Pool(processes=pool_workers) as pool:
+                for result in pool.imap(_eval_chunk, tasks):
+                    _record(*result)
+        finally:
+            _WORKER_CONTEXT = None
+    else:
+        for task in tasks:
+            chunk_start = time.perf_counter()
+            index, chunk_patterns = task
+            chunk_verdicts = [context.evaluate(p) for p in chunk_patterns]
+            _record(index, chunk_verdicts,
+                    time.perf_counter() - chunk_start, os.getpid())
+    stats.eval_seconds += time.perf_counter() - start
+    return verdicts
+
+
+def _resolve_verdicts(context: _EvalContext,
+                      pattern_counts: Dict[FaultPattern, int],
+                      memoize: bool,
+                      cache: Optional[FaultPatternCache],
+                      workers: int,
+                      chunk_size: int,
+                      stats: EngineStats,
+                      progress: Optional[Callable[[ProgressEvent], None]],
+                      ) -> Dict[FaultPattern, bool]:
+    """Map each distinct pattern to its verdict.
+
+    With ``memoize`` each distinct pattern is simulated at most once
+    (and not at all when the shared ``cache`` already knows it); with
+    ``memoize=False`` every occurrence is simulated fresh — same
+    verdicts, no reuse — which is the honest baseline for speedup
+    measurements.
+    """
+    requests = sum(pattern_counts.values())
+    stats.requests += requests
+    stats.distinct_patterns += len(pattern_counts)
+    verdict_map: Dict[FaultPattern, bool] = {}
+    if memoize:
+        missing = [pattern for pattern in pattern_counts
+                   if cache is None or pattern not in cache]
+        if cache is not None:
+            for pattern in pattern_counts:
+                if pattern in cache:
+                    verdict_map[pattern] = bool(cache.get(pattern))
+        verdicts = _evaluate_patterns(context, missing, workers,
+                                      chunk_size, stats, progress)
+        for pattern, verdict in zip(missing, verdicts):
+            verdict_map[pattern] = verdict
+            if cache is not None:
+                cache.store(pattern, verdict)
+        stats.evaluations += len(missing)
+        stats.cache_hits += requests - len(missing)
+        if cache is not None:
+            cache.misses += len(missing)
+            cache.hits += requests - len(missing)
+    else:
+        expanded: List[FaultPattern] = []
+        for pattern, multiplicity in pattern_counts.items():
+            expanded.extend([pattern] * multiplicity)
+        verdicts = _evaluate_patterns(context, expanded, workers,
+                                      chunk_size, stats, progress)
+        for pattern, verdict in zip(expanded, verdicts):
+            verdict_map[pattern] = verdict
+        stats.evaluations += len(expanded)
+    return verdict_map
+
+
+def _location_setup(noise: Optional[NoiseModel], gadget: Gadget,
+                    locations: Sequence[FaultLocation]
+                    ) -> Tuple[np.ndarray, List[List[PauliString]],
+                               List[int]]:
+    """Precompute per-location strike probabilities and fault choices.
+
+    The serial loops recompute ``fault_choices`` (a ``pauli_basis``
+    walk) for every struck location of every trial; doing it once per
+    run is a measurable win on its own.
+    """
+    model = noise if noise is not None else NoiseModel.uniform(1.0)
+    probs = np.array([model.probability_for(loc) for loc in locations],
+                     dtype=float)
+    choices = [model.fault_choices(loc, gadget.num_qubits)
+               for loc in locations]
+    after_ops = [loc.after_op for loc in locations]
+    return probs, choices, after_ops
+
+
+def _spawn_chunks(seed: Optional[int], total: int, chunk_size: int
+                  ) -> List[Tuple[int, np.random.SeedSequence]]:
+    """(chunk_length, child seed) pairs — worker-count independent."""
+    slices = _chunk_slices(total, chunk_size)
+    children = np.random.SeedSequence(seed).spawn(len(slices))
+    return [(hi - lo, child) for (lo, hi), child in zip(slices, children)]
+
+
+def run_monte_carlo(gadget: Gadget,
+                    initial_state: SparseState,
+                    evaluator: Callable[[SparseState], bool],
+                    noise: NoiseModel,
+                    trials: int,
+                    locations: Optional[Sequence[FaultLocation]] = None,
+                    seed: Optional[int] = None,
+                    workers: int = 1,
+                    chunk_size: int = DEFAULT_CHUNK_SIZE,
+                    memoize: bool = True,
+                    cache: Optional[FaultPatternCache] = None,
+                    progress: Optional[Callable[[ProgressEvent], None]]
+                    = None):
+    """Engine-scheduled equivalent of ``gadget_monte_carlo``.
+
+    Returns a :class:`~repro.analysis.montecarlo.GadgetMonteCarloResult`
+    with ``engine_stats`` attached.  For a fixed ``(seed, trials,
+    chunk_size)`` the result is bit-identical for every ``workers``
+    value and for ``memoize`` on or off.
+    """
+    from repro.analysis.montecarlo import (
+        GadgetMonteCarloResult,
+        _default_locations,
+    )
+
+    start = time.perf_counter()
+    if locations is None:
+        locations = _default_locations(gadget)
+    locations = list(locations)
+    trials = int(trials)
+    if trials < 0:
+        raise AnalysisError("trials must be non-negative")
+    workers = max(1, int(workers))
+    chunk_size = max(1, int(chunk_size))
+    stats = EngineStats(trials=trials, workers=1)
+    probs, choices, after_ops = _location_setup(noise, gadget, locations)
+
+    histogram: Dict[int, int] = {}
+    pattern_counts: Dict[FaultPattern, int] = {}
+    sample_start = time.perf_counter()
+    chunks = _spawn_chunks(seed, trials, chunk_size)
+    stats.chunks = len(chunks)
+    sampled_trials = 0
+    for chunk_index, (length, child) in enumerate(chunks):
+        rng = np.random.default_rng(child)
+        strikes = rng.random((length, len(locations)))
+        for row in range(length):
+            struck = np.nonzero(strikes[row] < probs)[0]
+            faults: List[Fault] = []
+            for loc_index in struck:
+                loc_choices = choices[loc_index]
+                if not loc_choices:
+                    continue
+                pauli = loc_choices[int(rng.integers(0, len(loc_choices)))]
+                faults.append((pauli, after_ops[loc_index]))
+            count = len(faults)
+            histogram[count] = histogram.get(count, 0) + 1
+            if count:
+                key = canonical_pattern(faults)
+                pattern_counts[key] = pattern_counts.get(key, 0) + 1
+        sampled_trials += length
+        if progress is not None:
+            progress(ProgressEvent(
+                phase="sample", done=sampled_trials, total=trials,
+                chunk_index=chunk_index, chunks_total=len(chunks),
+                elapsed_seconds=time.perf_counter() - sample_start,
+            ))
+    stats.sample_seconds = time.perf_counter() - sample_start
+
+    context = _EvalContext(gadget, initial_state, evaluator)
+    verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
+                                    cache, workers, chunk_size, stats,
+                                    progress)
+
+    failures = 0
+    failures_by_count: Dict[int, int] = {}
+    for pattern, multiplicity in pattern_counts.items():
+        if not verdict_map[pattern]:
+            failures += multiplicity
+            count = len(pattern)
+            failures_by_count[count] = \
+                failures_by_count.get(count, 0) + multiplicity
+    stats.total_seconds = time.perf_counter() - start
+    return GadgetMonteCarloResult(
+        p=noise.p_gate,
+        trials=trials,
+        failures=failures,
+        failures_by_fault_count=failures_by_count,
+        fault_count_histogram=histogram,
+        engine_stats=stats,
+    )
+
+
+def run_malignant_pairs(gadget: Gadget,
+                        initial_state: SparseState,
+                        evaluator: Callable[[SparseState], bool],
+                        samples: int,
+                        locations: Optional[Sequence[FaultLocation]]
+                        = None,
+                        seed: Optional[int] = None,
+                        channel: str = "depolarizing",
+                        workers: int = 1,
+                        chunk_size: int = DEFAULT_CHUNK_SIZE,
+                        memoize: bool = True,
+                        cache: Optional[FaultPatternCache] = None,
+                        progress: Optional[Callable[[ProgressEvent], None]]
+                        = None):
+    """Engine-scheduled equivalent of ``sample_malignant_pairs``."""
+    from repro.analysis.montecarlo import (
+        MalignantPairSample,
+        _default_locations,
+    )
+
+    start = time.perf_counter()
+    if locations is None:
+        locations = _default_locations(gadget)
+    locations = list(locations)
+    samples = int(samples)
+    if samples < 0:
+        raise AnalysisError("samples must be non-negative")
+    if samples > 0 and len(locations) < 2:
+        raise AnalysisError(
+            "malignant-pair sampling needs at least two fault locations"
+        )
+    workers = max(1, int(workers))
+    chunk_size = max(1, int(chunk_size))
+    stats = EngineStats(trials=samples, workers=1)
+    model = NoiseModel.uniform(1.0, channel=channel)
+    _, choices, after_ops = _location_setup(model, gadget, locations)
+
+    pattern_counts: Dict[FaultPattern, int] = {}
+    sample_start = time.perf_counter()
+    chunks = _spawn_chunks(seed, samples, chunk_size)
+    stats.chunks = len(chunks)
+    count = len(locations)
+    sampled = 0
+    for chunk_index, (length, child) in enumerate(chunks):
+        rng = np.random.default_rng(child)
+        for _ in range(length):
+            i = int(rng.integers(0, count))
+            j = int(rng.integers(0, count - 1))
+            if j >= i:
+                j += 1
+            faults: List[Fault] = []
+            for loc_index in (i, j):
+                loc_choices = choices[loc_index]
+                pauli = loc_choices[int(rng.integers(0, len(loc_choices)))]
+                faults.append((pauli, after_ops[loc_index]))
+            key = canonical_pattern(faults)
+            pattern_counts[key] = pattern_counts.get(key, 0) + 1
+        sampled += length
+        if progress is not None:
+            progress(ProgressEvent(
+                phase="sample", done=sampled, total=samples,
+                chunk_index=chunk_index, chunks_total=len(chunks),
+                elapsed_seconds=time.perf_counter() - sample_start,
+            ))
+    stats.sample_seconds = time.perf_counter() - sample_start
+
+    context = _EvalContext(gadget, initial_state, evaluator)
+    verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
+                                    cache, workers, chunk_size, stats,
+                                    progress)
+    malignant = sum(multiplicity
+                    for pattern, multiplicity in pattern_counts.items()
+                    if not verdict_map[pattern])
+    stats.total_seconds = time.perf_counter() - start
+    return MalignantPairSample(
+        samples=samples,
+        malignant=malignant,
+        num_locations=count,
+        engine_stats=stats,
+    )
+
+
+def run_exhaustive(gadget: Gadget,
+                   initial_state: SparseState,
+                   evaluator: Callable[[SparseState], bool],
+                   locations: Optional[Sequence[FaultLocation]] = None,
+                   channel: str = "depolarizing",
+                   workers: int = 1,
+                   chunk_size: int = DEFAULT_CHUNK_SIZE,
+                   memoize: bool = True,
+                   cache: Optional[FaultPatternCache] = None,
+                   progress: Optional[Callable[[ProgressEvent], None]]
+                   = None) -> ExhaustiveSurvey:
+    """Engine-scheduled exhaustive single-fault certification.
+
+    The failure list preserves the serial (location, pauli) order, so
+    it is interchangeable with ``exhaustive_single_faults_sparse``.
+    Memoization deduplicates coincident faults (e.g. a delay fault
+    anchored at the same ``after_op`` as an equal gate-location Pauli).
+    """
+    from repro.analysis.montecarlo import _default_locations
+
+    start = time.perf_counter()
+    if locations is None:
+        locations = _default_locations(gadget)
+    locations = list(locations)
+    workers = max(1, int(workers))
+    chunk_size = max(1, int(chunk_size))
+    model = NoiseModel.uniform(1.0, channel=channel)
+
+    items: List[Tuple[FaultLocation, PauliString, FaultPattern]] = []
+    for location in locations:
+        for pauli in model.fault_choices(location, gadget.num_qubits):
+            items.append((location, pauli,
+                          canonical_pattern([(pauli, location.after_op)])))
+    stats = EngineStats(trials=len(items), workers=1, chunks=0)
+    pattern_counts: Dict[FaultPattern, int] = {}
+    for _, _, key in items:
+        pattern_counts[key] = pattern_counts.get(key, 0) + 1
+    context = _EvalContext(gadget, initial_state, evaluator)
+    verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
+                                    cache, workers, chunk_size, stats,
+                                    progress)
+    failures = [(location, pauli) for location, pauli, key in items
+                if not verdict_map[key]]
+    stats.total_seconds = time.perf_counter() - start
+    return ExhaustiveSurvey(failures=failures, checked=len(items),
+                            stats=stats)
+
+
+def resolve_workers(parallel: bool, workers: Optional[int]) -> int:
+    """Shared resolution of the public ``parallel=``/``workers=`` knobs."""
+    if workers is not None:
+        return max(1, int(workers))
+    if parallel:
+        return max(1, os.cpu_count() or 1)
+    return 1

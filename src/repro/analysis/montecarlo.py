@@ -8,12 +8,33 @@ a caller-supplied evaluator (typically
 :func:`~repro.ft.ideal_recovery.recovered_block_overlap` against the
 ideal output).  These are the data behind every O(p^2) curve in the
 benchmark suite.
+
+Each sampler here has two execution paths:
+
+* the original **serial** loop (the default), byte-compatible with
+  historical seeded results; and
+* the **engine** path (:mod:`repro.analysis.engine`), selected by
+  passing ``parallel=True`` or any engine option (``workers=``,
+  ``chunk_size=``, ``memoize=``, ``cache=``, ``progress=``).  The
+  engine chunks trials over per-chunk ``SeedSequence.spawn`` streams
+  (bit-identical results for any worker count) and memoises verdicts
+  by canonical fault pattern.  Its RNG stream intentionally differs
+  from the serial loop's, so a seeded serial run and a seeded engine
+  run are each self-consistent but not equal to one another.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
@@ -22,16 +43,31 @@ from repro.noise.locations import FaultLocation
 from repro.noise.model import NoiseModel
 from repro.simulators.sparse import SparseState
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import (
+        EngineStats,
+        FaultPatternCache,
+        ProgressEvent,
+    )
+
 
 @dataclass
 class GadgetMonteCarloResult:
-    """Sampled failure statistics for one (gadget, p) point."""
+    """Sampled failure statistics for one (gadget, p) point.
+
+    ``engine_stats`` (engine path only) carries cache and scheduling
+    instrumentation; it is excluded from equality so serial/parallel
+    equivalence can be asserted on the statistical payload alone.
+    """
 
     p: float
     trials: int
     failures: int
     failures_by_fault_count: Dict[int, int]
     fault_count_histogram: Dict[int, int]
+    engine_stats: Optional["EngineStats"] = field(
+        default=None, compare=False, repr=False,
+    )
 
     @property
     def failure_rate(self) -> float:
@@ -49,13 +85,28 @@ class GadgetMonteCarloResult:
         return self.failures_by_fault_count.get(1, 0)
 
 
+def _engine_requested(parallel: bool, workers, chunk_size, memoize,
+                      cache, progress) -> bool:
+    return (parallel or workers is not None or chunk_size is not None
+            or memoize is not None or cache is not None
+            or progress is not None)
+
+
 def gadget_monte_carlo(gadget: Gadget,
                        initial_state: SparseState,
                        evaluator: Callable[[SparseState], bool],
                        noise: NoiseModel,
                        trials: int,
                        locations: Optional[Sequence[FaultLocation]] = None,
-                       seed: Optional[int] = None
+                       seed: Optional[int] = None,
+                       *,
+                       parallel: bool = False,
+                       workers: Optional[int] = None,
+                       chunk_size: Optional[int] = None,
+                       memoize: Optional[bool] = None,
+                       cache: Optional["FaultPatternCache"] = None,
+                       progress: Optional[
+                           Callable[["ProgressEvent"], None]] = None,
                        ) -> GadgetMonteCarloResult:
     """Estimate a gadget's failure rate under stochastic faults.
 
@@ -70,8 +121,33 @@ def gadget_monte_carlo(gadget: Gadget,
             target — the no-fault branch is verified separately).
         locations: pre-enumerated locations (pass to amortise across a
             p sweep).
-        seed: RNG seed.
+        seed: RNG seed.  ``None`` draws fresh OS entropy, making the
+            run non-reproducible.
+        parallel: opt into the engine path with ``os.cpu_count()``
+            workers (unless ``workers`` says otherwise).
+        workers: engine worker-pool size; results are bit-identical
+            for every value (chunked ``SeedSequence.spawn`` streams).
+        chunk_size: trials sampled per RNG chunk (engine path; part of
+            the determinism contract together with ``seed``/``trials``).
+        memoize: reuse verdicts of repeated canonical fault patterns
+            (engine path; default on).
+        cache: a shared :class:`~repro.analysis.engine.
+            FaultPatternCache` to persist verdicts across calls.
+        progress: per-chunk :class:`~repro.analysis.engine.
+            ProgressEvent` callback (engine path).
     """
+    if _engine_requested(parallel, workers, chunk_size, memoize, cache,
+                         progress):
+        from repro.analysis import engine
+
+        return engine.run_monte_carlo(
+            gadget, initial_state, evaluator, noise, trials,
+            locations=locations, seed=seed,
+            workers=engine.resolve_workers(parallel, workers),
+            chunk_size=chunk_size or engine.DEFAULT_CHUNK_SIZE,
+            memoize=True if memoize is None else memoize,
+            cache=cache, progress=progress,
+        )
     rng = np.random.default_rng(seed)
     if locations is None:
         locations = _default_locations(gadget)
@@ -118,6 +194,13 @@ def exhaustive_single_faults_sparse(
         evaluator: Callable[[SparseState], bool],
         locations: Optional[Sequence[FaultLocation]] = None,
         channel: str = "depolarizing",
+        *,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        memoize: Optional[bool] = None,
+        cache: Optional["FaultPatternCache"] = None,
+        progress: Optional[Callable[["ProgressEvent"], None]] = None,
 ) -> List[Tuple[FaultLocation, object]]:
     """Run every single-location Pauli fault through the simulator.
 
@@ -127,7 +210,25 @@ def exhaustive_single_faults_sparse(
     logic (the N_1 syndrome box), so only exact simulation can prove
     that *no* single fault is malignant.  Returns the failing
     (location, pauli) pairs; empty = fault tolerant.
+
+    Engine options (``parallel=``/``workers=``/...) fan the sweep out
+    across a worker pool; the failure list order is unchanged.  Use
+    :func:`repro.analysis.engine.run_exhaustive` directly to also get
+    the :class:`~repro.analysis.engine.EngineStats`.
     """
+    if _engine_requested(parallel, workers, chunk_size, memoize, cache,
+                         progress):
+        from repro.analysis import engine
+
+        survey = engine.run_exhaustive(
+            gadget, initial_state, evaluator, locations=locations,
+            channel=channel,
+            workers=engine.resolve_workers(parallel, workers),
+            chunk_size=chunk_size or engine.DEFAULT_CHUNK_SIZE,
+            memoize=True if memoize is None else memoize,
+            cache=cache, progress=progress,
+        )
+        return survey.failures
     if locations is None:
         locations = _default_locations(gadget)
     model = NoiseModel.uniform(1.0, channel=channel)
@@ -156,6 +257,9 @@ class MalignantPairSample:
     samples: int
     malignant: int
     num_locations: int
+    engine_stats: Optional["EngineStats"] = field(
+        default=None, compare=False, repr=False,
+    )
 
     @property
     def malignant_fraction(self) -> float:
@@ -181,17 +285,41 @@ def sample_malignant_pairs(gadget: Gadget,
                            samples: int,
                            locations: Optional[Sequence[FaultLocation]]
                            = None,
-                           seed: Optional[int] = None
+                           seed: Optional[int] = None,
+                           channel: str = "depolarizing",
+                           *,
+                           parallel: bool = False,
+                           workers: Optional[int] = None,
+                           chunk_size: Optional[int] = None,
+                           memoize: Optional[bool] = None,
+                           cache: Optional["FaultPatternCache"] = None,
+                           progress: Optional[
+                               Callable[["ProgressEvent"], None]] = None,
                            ) -> MalignantPairSample:
     """Monte-Carlo estimate of the malignant-location-pair count.
 
     Draws random location pairs with random Pauli faults at each, runs
-    the gadget exactly, and counts unacceptable outputs.
+    the gadget exactly, and counts unacceptable outputs.  ``channel``
+    restricts the Pauli choices at each location (the same ablation
+    knob as the other samplers); engine options behave as in
+    :func:`gadget_monte_carlo`.
     """
+    if _engine_requested(parallel, workers, chunk_size, memoize, cache,
+                         progress):
+        from repro.analysis import engine
+
+        return engine.run_malignant_pairs(
+            gadget, initial_state, evaluator, samples,
+            locations=locations, seed=seed, channel=channel,
+            workers=engine.resolve_workers(parallel, workers),
+            chunk_size=chunk_size or engine.DEFAULT_CHUNK_SIZE,
+            memoize=True if memoize is None else memoize,
+            cache=cache, progress=progress,
+        )
     rng = np.random.default_rng(seed)
     if locations is None:
         locations = _default_locations(gadget)
-    model = NoiseModel.uniform(1.0)
+    model = NoiseModel.uniform(1.0, channel=channel)
     malignant = 0
     count = len(locations)
     for _ in range(samples):
@@ -218,16 +346,55 @@ def sweep_p(gadget: Gadget,
             p_values: Sequence[float],
             trials: int,
             channel: str = "depolarizing",
-            seed: Optional[int] = None
+            seed: Optional[int] = None,
+            *,
+            locations: Optional[Sequence[FaultLocation]] = None,
+            parallel: bool = False,
+            workers: Optional[int] = None,
+            chunk_size: Optional[int] = None,
+            memoize: Optional[bool] = None,
+            cache: Optional["FaultPatternCache"] = None,
+            progress: Optional[Callable[["ProgressEvent"], None]] = None,
             ) -> List[GadgetMonteCarloResult]:
-    """Failure-rate series over a range of physical error rates."""
-    locations = _default_locations(gadget)
+    """Failure-rate series over a range of physical error rates.
+
+    Seed semantics: the point at index ``i`` runs with ``seed + i``,
+    so one ``seed`` pins the entire series (identical re-runs) while
+    every point still draws from a distinct stream.  With
+    ``seed=None`` each point seeds itself from OS entropy and the
+    series is **nondeterministic** — pass a seed for reproducible
+    figures.
+
+    ``channel`` and the engine options are threaded through to every
+    underlying :func:`gadget_monte_carlo` call.  On the engine path a
+    single :class:`~repro.analysis.engine.FaultPatternCache` is shared
+    across all points (verdicts depend only on the fault pattern, not
+    on p), so later points mostly reuse earlier simulations.
+    """
+    engine_requested = _engine_requested(parallel, workers, chunk_size,
+                                         memoize, cache, progress)
+    if locations is None:
+        locations = _default_locations(gadget)
+    if engine_requested and cache is None and \
+            (memoize is None or memoize):
+        from repro.analysis.engine import FaultPatternCache
+
+        cache = FaultPatternCache()
     results: List[GadgetMonteCarloResult] = []
     for index, p in enumerate(p_values):
         noise = NoiseModel.uniform(p, channel=channel)
-        results.append(gadget_monte_carlo(
-            gadget, initial_state, evaluator, noise, trials,
-            locations=locations,
-            seed=None if seed is None else seed + index,
-        ))
+        point_seed = None if seed is None else seed + index
+        if engine_requested:
+            results.append(gadget_monte_carlo(
+                gadget, initial_state, evaluator, noise, trials,
+                locations=locations, seed=point_seed,
+                parallel=parallel, workers=workers,
+                chunk_size=chunk_size, memoize=memoize, cache=cache,
+                progress=progress,
+            ))
+        else:
+            results.append(gadget_monte_carlo(
+                gadget, initial_state, evaluator, noise, trials,
+                locations=locations, seed=point_seed,
+            ))
     return results

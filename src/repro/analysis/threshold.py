@@ -15,13 +15,17 @@ count_malignant_pairs`), making the thresholds safe lower bounds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis.propagation import GadgetFaultAnalyzer, SingleFaultSurvey
 from repro.codes.quantum.css import CssCode
 from repro.ft.gadget import Gadget
-from repro.noise.locations import count_locations
+from repro.noise.locations import FaultLocation, count_locations
+from repro.simulators.sparse import SparseState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import EngineStats, FaultPatternCache
 
 
 @dataclass
@@ -43,6 +47,9 @@ class ThresholdReport:
     location_counts: Dict[str, int]
     single_fault_failures: int
     malignant_pairs: int
+    engine_stats: Optional["EngineStats"] = field(
+        default=None, compare=False, repr=False,
+    )
 
     @property
     def is_fault_tolerant(self) -> bool:
@@ -88,4 +95,77 @@ def analyze_gadget(gadget: Gadget, code: CssCode,
         ),
         single_fault_failures=len(survey.failures),
         malignant_pairs=malignant,
+    )
+
+
+def sampled_threshold_report(gadget: Gadget,
+                             initial_state: SparseState,
+                             evaluator: Callable[[SparseState], bool],
+                             samples: int = 400,
+                             seed: Optional[int] = None,
+                             channel: str = "depolarizing",
+                             locations: Optional[Sequence[FaultLocation]]
+                             = None,
+                             *,
+                             parallel: bool = False,
+                             workers: Optional[int] = None,
+                             chunk_size: Optional[int] = None,
+                             memoize: Optional[bool] = None,
+                             cache: Optional["FaultPatternCache"] = None,
+                             ) -> ThresholdReport:
+    """Exact state-based counterpart of :func:`analyze_gadget`.
+
+    Where the symbolic analyzer over-counts (worst-case Pauli
+    propagation cannot see value-dependent cancellation inside the
+    classical correction logic), this report certifies the single
+    faults exhaustively on the sparse simulator and samples the
+    malignant-pair count, both scheduled through
+    :mod:`repro.analysis.engine` so large gadgets can use a worker
+    pool and a shared verdict cache.  ``malignant_pairs`` is the
+    rounded sampled estimate M_eff.
+    """
+    from repro.analysis import engine
+    from repro.analysis.montecarlo import _default_locations
+
+    if locations is None:
+        locations = _default_locations(gadget)
+    locations = list(locations)
+    resolved_workers = engine.resolve_workers(parallel, workers)
+    resolved_chunk = chunk_size or engine.DEFAULT_CHUNK_SIZE
+    resolved_memoize = True if memoize is None else memoize
+    if cache is None and resolved_memoize:
+        cache = engine.FaultPatternCache()
+    survey = engine.run_exhaustive(
+        gadget, initial_state, evaluator, locations=locations,
+        channel=channel, workers=resolved_workers,
+        chunk_size=resolved_chunk, memoize=resolved_memoize,
+        cache=cache,
+    )
+    pair_sample = engine.run_malignant_pairs(
+        gadget, initial_state, evaluator, samples,
+        locations=locations, seed=seed, channel=channel,
+        workers=resolved_workers, chunk_size=resolved_chunk,
+        memoize=resolved_memoize, cache=cache,
+    )
+    counts = {"input": 0, "gate": 0, "delay": 0}
+    for location in locations:
+        counts[location.kind] += 1
+    counts["total"] = sum(counts.values())
+    stats = survey.stats
+    stats.trials += pair_sample.engine_stats.trials
+    stats.requests += pair_sample.engine_stats.requests
+    stats.evaluations += pair_sample.engine_stats.evaluations
+    stats.cache_hits += pair_sample.engine_stats.cache_hits
+    stats.distinct_patterns += pair_sample.engine_stats.distinct_patterns
+    stats.total_seconds += pair_sample.engine_stats.total_seconds
+    stats.eval_seconds += pair_sample.engine_stats.eval_seconds
+    stats.sample_seconds += pair_sample.engine_stats.sample_seconds
+    stats.worker_busy_seconds += \
+        pair_sample.engine_stats.worker_busy_seconds
+    return ThresholdReport(
+        gadget_name=gadget.name,
+        location_counts=counts,
+        single_fault_failures=len(survey.failures),
+        malignant_pairs=int(round(pair_sample.estimated_malignant_pairs)),
+        engine_stats=stats,
     )

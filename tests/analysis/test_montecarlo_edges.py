@@ -1,0 +1,154 @@
+"""Edge-case statistics for the Monte-Carlo result types.
+
+Covers the degenerate regimes the samplers must not mis-report:
+zero-trial runs, all-failure and no-failure runs, standard-error
+bounds, and empty malignant-pair estimates — on both the serial and
+the engine execution paths.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    GadgetMonteCarloResult,
+    MalignantPairSample,
+    gadget_monte_carlo,
+    n_gadget_evaluator,
+    sample_malignant_pairs,
+)
+from repro.ft import build_n_gadget, sparse_coset_state
+from repro.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def tiny(trivial):
+    gadget = build_n_gadget(trivial)
+    initial = gadget.initial_state(
+        {"quantum": sparse_coset_state(trivial, 0)}
+    )
+    evaluator = n_gadget_evaluator(gadget, trivial, 0)
+    return gadget, initial, evaluator
+
+
+class TestMonteCarloResultEdges:
+    def test_zero_trials(self, tiny):
+        gadget, initial, evaluator = tiny
+        noise = NoiseModel.uniform(0.5)
+        serial = gadget_monte_carlo(gadget, initial, evaluator, noise,
+                                    trials=0, seed=1)
+        engine = gadget_monte_carlo(gadget, initial, evaluator, noise,
+                                    trials=0, seed=1, workers=2)
+        for result in (serial, engine):
+            assert result.trials == 0
+            assert result.failures == 0
+            assert result.failure_rate == 0.0
+            assert result.stderr == 0.0
+            assert result.fault_count_histogram == {}
+            assert result.failures_by_fault_count == {}
+        # No RNG is consumed, so the two paths agree exactly.
+        assert serial == engine
+
+    @pytest.mark.parametrize("options", [{}, {"workers": 2}])
+    def test_all_failure_run(self, tiny, options):
+        """p=1 strikes every location and a constant-False evaluator
+        fails every trial."""
+        gadget, initial, _ = tiny
+        noise = NoiseModel.uniform(1.0)
+        result = gadget_monte_carlo(gadget, initial, lambda s: False,
+                                    noise, trials=40, seed=2,
+                                    **options)
+        assert result.failures == 40
+        assert result.failure_rate == 1.0
+        assert sum(result.failures_by_fault_count.values()) == 40
+        assert 0 not in result.fault_count_histogram
+        assert result.stderr >= 0.0
+        assert result.stderr <= 0.5 / math.sqrt(40) + 1e-9
+
+    @pytest.mark.parametrize("options", [{}, {"workers": 2}])
+    def test_no_failure_run(self, tiny, options):
+        gadget, initial, _ = tiny
+        noise = NoiseModel.uniform(0.5)
+        result = gadget_monte_carlo(gadget, initial, lambda s: True,
+                                    noise, trials=60, seed=3,
+                                    **options)
+        assert result.failures == 0
+        assert result.failure_rate == 0.0
+        assert result.failures_by_fault_count == {}
+        assert result.single_fault_failures == 0
+        assert result.stderr > 0.0  # floored variance, not zero
+
+    def test_stderr_bounds(self):
+        """stderr is the binomial standard error: positive for any
+        finished run and never above the p=1/2 worst case."""
+        for trials, failures in [(10, 0), (10, 5), (10, 10),
+                                 (400, 123), (1, 1)]:
+            result = GadgetMonteCarloResult(
+                p=0.1, trials=trials, failures=failures,
+                failures_by_fault_count={}, fault_count_histogram={},
+            )
+            assert result.stderr > 0.0
+            assert result.stderr <= 0.5 / math.sqrt(trials) + 1e-9
+        empty = GadgetMonteCarloResult(
+            p=0.1, trials=0, failures=0,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        assert empty.stderr == 0.0
+
+    def test_failure_rate_zero_trials_is_zero_not_nan(self):
+        result = GadgetMonteCarloResult(
+            p=0.1, trials=0, failures=0,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        assert result.failure_rate == 0.0
+
+
+class TestMalignantPairSampleEdges:
+    def test_zero_samples_statistics(self):
+        sample = MalignantPairSample(samples=0, malignant=0,
+                                     num_locations=10)
+        assert sample.malignant_fraction == 0.0
+        assert sample.estimated_malignant_pairs == 0.0
+        assert sample.threshold_estimate is None
+        assert sample.location_pairs == 45
+
+    def test_no_malignant_pairs_means_no_threshold(self):
+        sample = MalignantPairSample(samples=500, malignant=0,
+                                     num_locations=20)
+        assert sample.malignant_fraction == 0.0
+        assert sample.threshold_estimate is None
+
+    def test_all_malignant(self):
+        sample = MalignantPairSample(samples=100, malignant=100,
+                                     num_locations=4)
+        assert sample.malignant_fraction == 1.0
+        assert sample.estimated_malignant_pairs == 6.0
+        assert sample.threshold_estimate == pytest.approx(1 / 6)
+
+    @pytest.mark.parametrize("options", [{}, {"workers": 2}])
+    def test_zero_samples_run(self, tiny, options):
+        gadget, initial, evaluator = tiny
+        sample = sample_malignant_pairs(gadget, initial, evaluator,
+                                        samples=0, seed=4, **options)
+        assert sample.samples == 0
+        assert sample.malignant == 0
+        assert sample.threshold_estimate is None
+
+    @pytest.mark.parametrize("options", [{}, {"workers": 2}])
+    def test_never_malignant_evaluator(self, tiny, options):
+        gadget, initial, _ = tiny
+        sample = sample_malignant_pairs(gadget, initial,
+                                        lambda s: True, samples=50,
+                                        seed=5, **options)
+        assert sample.malignant == 0
+        assert sample.threshold_estimate is None
+
+    @pytest.mark.parametrize("options", [{}, {"workers": 2}])
+    def test_always_malignant_evaluator(self, tiny, options):
+        gadget, initial, _ = tiny
+        sample = sample_malignant_pairs(gadget, initial,
+                                        lambda s: False, samples=50,
+                                        seed=6, **options)
+        assert sample.malignant == 50
+        assert sample.malignant_fraction == 1.0
+        assert sample.threshold_estimate is not None

@@ -23,6 +23,10 @@ DSN 2004:
 * :mod:`repro.algorithms` — the Sec. 2 ensemble strategies (RNG and
   teleportation impossibility, randomize-bad-results for Shor-type
   algorithms, sorted multi-solution Grover).
+* :mod:`repro.verify` — the differential-verification subsystem:
+  seeded circuit fuzzing, cross-simulator agreement oracle, ddmin
+  shrinking of failures, metamorphic properties and the engine's
+  validation-mode invariants.
 """
 
 from repro import (
@@ -34,6 +38,7 @@ from repro import (
     ft,
     noise,
     simulators,
+    verify,
 )
 from repro.exceptions import (
     AnalysisError,
@@ -45,6 +50,7 @@ from repro.exceptions import (
     GateError,
     ReproError,
     SimulationError,
+    VerificationError,
 )
 
 __version__ = "1.0.0"
@@ -59,6 +65,7 @@ __all__ = [
     "GateError",
     "ReproError",
     "SimulationError",
+    "VerificationError",
     "__version__",
     "algorithms",
     "analysis",
@@ -68,4 +75,5 @@ __all__ = [
     "ft",
     "noise",
     "simulators",
+    "verify",
 ]

@@ -92,10 +92,24 @@ def canonical_pattern(faults: Sequence[Fault]) -> FaultPattern:
 
 def evaluate_fault_pattern(gadget: Gadget, initial_state: SparseState,
                            evaluator: Callable[[SparseState], bool],
-                           faults: Sequence[Fault]) -> bool:
-    """Fresh (uncached) simulation of one fault pattern."""
+                           faults: Sequence[Fault],
+                           invariant: Optional[
+                               Callable[[SparseState], None]] = None
+                           ) -> bool:
+    """Fresh (uncached) simulation of one fault pattern.
+
+    ``invariant`` is the differential-verification hook: when given,
+    it is called with the final state of every fresh simulation and
+    must raise :class:`~repro.exceptions.VerificationError` on
+    violation (see :func:`repro.verify.norm_invariant` for ready-made
+    checks).  Cached verdicts skip the invariant — it certifies the
+    simulator runs, which is exactly the set of states that were
+    actually computed.
+    """
     state = initial_state.copy()
     apply_circuit_with_faults(state, gadget.circuit, list(faults))
+    if invariant is not None:
+        invariant(state)
     return bool(evaluator(state))
 
 
@@ -224,14 +238,18 @@ class _EvalContext:
     """Everything a worker needs to turn a pattern into a verdict."""
 
     def __init__(self, gadget: Gadget, initial_state: SparseState,
-                 evaluator: Callable[[SparseState], bool]) -> None:
+                 evaluator: Callable[[SparseState], bool],
+                 invariant: Optional[Callable[[SparseState], None]]
+                 = None) -> None:
         self.gadget = gadget
         self.initial_state = initial_state
         self.evaluator = evaluator
+        self.invariant = invariant
 
     def evaluate(self, pattern: FaultPattern) -> bool:
         return evaluate_fault_pattern(self.gadget, self.initial_state,
-                                      self.evaluator, pattern)
+                                      self.evaluator, pattern,
+                                      invariant=self.invariant)
 
 
 def _eval_chunk(task: Tuple[int, List[FaultPattern]]
@@ -404,6 +422,8 @@ def run_monte_carlo(gadget: Gadget,
                     memoize: bool = True,
                     cache: Optional[FaultPatternCache] = None,
                     progress: Optional[Callable[[ProgressEvent], None]]
+                    = None,
+                    invariant: Optional[Callable[[SparseState], None]]
                     = None):
     """Engine-scheduled equivalent of ``gadget_monte_carlo``.
 
@@ -411,6 +431,11 @@ def run_monte_carlo(gadget: Gadget,
     with ``engine_stats`` attached.  For a fixed ``(seed, trials,
     chunk_size)`` the result is bit-identical for every ``workers``
     value and for ``memoize`` on or off.
+
+    ``invariant`` enables validation mode: every fresh simulation's
+    final state is passed to the callable, which raises
+    :class:`~repro.exceptions.VerificationError` on violation (see
+    :mod:`repro.verify` for ready-made invariants).
     """
     from repro.analysis.montecarlo import (
         GadgetMonteCarloResult,
@@ -461,7 +486,8 @@ def run_monte_carlo(gadget: Gadget,
             ))
     stats.sample_seconds = time.perf_counter() - sample_start
 
-    context = _EvalContext(gadget, initial_state, evaluator)
+    context = _EvalContext(gadget, initial_state, evaluator,
+                           invariant=invariant)
     verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
                                     cache, workers, chunk_size, stats,
                                     progress)
@@ -498,8 +524,13 @@ def run_malignant_pairs(gadget: Gadget,
                         memoize: bool = True,
                         cache: Optional[FaultPatternCache] = None,
                         progress: Optional[Callable[[ProgressEvent], None]]
-                        = None):
-    """Engine-scheduled equivalent of ``sample_malignant_pairs``."""
+                        = None,
+                        invariant: Optional[
+                            Callable[[SparseState], None]] = None):
+    """Engine-scheduled equivalent of ``sample_malignant_pairs``.
+
+    ``invariant`` behaves as in :func:`run_monte_carlo`.
+    """
     from repro.analysis.montecarlo import (
         MalignantPairSample,
         _default_locations,
@@ -551,7 +582,8 @@ def run_malignant_pairs(gadget: Gadget,
             ))
     stats.sample_seconds = time.perf_counter() - sample_start
 
-    context = _EvalContext(gadget, initial_state, evaluator)
+    context = _EvalContext(gadget, initial_state, evaluator,
+                           invariant=invariant)
     verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
                                     cache, workers, chunk_size, stats,
                                     progress)
@@ -577,6 +609,8 @@ def run_exhaustive(gadget: Gadget,
                    memoize: bool = True,
                    cache: Optional[FaultPatternCache] = None,
                    progress: Optional[Callable[[ProgressEvent], None]]
+                   = None,
+                   invariant: Optional[Callable[[SparseState], None]]
                    = None) -> ExhaustiveSurvey:
     """Engine-scheduled exhaustive single-fault certification.
 
@@ -604,7 +638,8 @@ def run_exhaustive(gadget: Gadget,
     pattern_counts: Dict[FaultPattern, int] = {}
     for _, _, key in items:
         pattern_counts[key] = pattern_counts.get(key, 0) + 1
-    context = _EvalContext(gadget, initial_state, evaluator)
+    context = _EvalContext(gadget, initial_state, evaluator,
+                           invariant=invariant)
     verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
                                     cache, workers, chunk_size, stats,
                                     progress)

@@ -14,6 +14,15 @@ Public surface:
 """
 
 from repro.circuits import gates, library
+from repro.circuits.equivalence import (
+    circuit_unitary,
+    circuits_equal_up_to_phase,
+    embed_operator,
+    global_phase_between,
+    operators_equal_up_to_phase,
+    state_discrepancy,
+    vectors_equal_up_to_phase,
+)
 from repro.circuits.circuit import (
     Circuit,
     ClassicalCondition,
@@ -41,14 +50,21 @@ __all__ = [
     "Operation",
     "PauliString",
     "ResetOp",
+    "circuit_unitary",
+    "circuits_equal_up_to_phase",
     "concat",
     "conjugate_pauli",
     "draw",
+    "embed_operator",
     "gates",
     "get_gate",
+    "global_phase_between",
     "iter_single_qubit_paulis",
     "library",
+    "operators_equal_up_to_phase",
     "pauli_basis",
     "propagates_to_pauli",
     "sigma_z_power",
+    "state_discrepancy",
+    "vectors_equal_up_to_phase",
 ]

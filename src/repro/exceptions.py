@@ -61,3 +61,15 @@ class AnalysisError(ReproError):
     """Raised by the error-propagation analysis when a fault cannot be
     propagated (e.g. a Pauli fault hitting an unsupported non-Clifford
     gate in strict mode)."""
+
+
+class VerificationError(ReproError):
+    """Raised by the differential-verification oracle when two
+    simulation backends disagree on the same circuit, when a
+    metamorphic property is violated, or when an engine invariant
+    check fails mid-run.
+
+    Different circuit representations of the same gadget agreeing is
+    the consistency assumption every fault-tolerance proof rests on;
+    this error marks the places where the repro checks it at runtime
+    instead of assuming it."""

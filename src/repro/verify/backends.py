@@ -1,0 +1,193 @@
+"""Uniform adapters over the simulation backends.
+
+Each adapter turns "run this measurement-free circuit from |0...0>"
+into a comparable artifact: a dense state vector for the pure-state
+engines, a density matrix for the mixed-state engine.  The oracle
+never talks to a simulator directly — it asks each adapter for its
+artifact and compares them pairwise up to global phase.
+
+The Pauli tracker is not a state backend (it computes Heisenberg-frame
+conjugations, not states); its cross-checks live in
+:mod:`repro.verify.oracle` as frame-consistency properties instead.
+
+:class:`GateRewriteBackend` wraps any adapter and substitutes gates on
+the fly.  It exists to *inject known bugs*: the shrinker's self-test
+wraps the sparse backend with an S -> S_DG rewrite and must catch and
+minimise the resulting divergence, which certifies the whole oracle
+pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, GateOp
+from repro.circuits.equivalence import (
+    mixed_state_discrepancy,
+    state_discrepancy,
+)
+from repro.circuits.gates import Gate
+from repro.exceptions import VerificationError
+from repro.simulators.density_matrix import DensityMatrix
+from repro.simulators.sparse import SparseState
+from repro.simulators.statevector import run_unitary
+
+#: Density matrices are O(4^n); keep the exact-channel backend small.
+MAX_DENSITY_QUBITS = 8
+#: Dense state vectors stay comfortable well past the fuzzing sizes.
+MAX_STATEVECTOR_QUBITS = 16
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """What one backend produced for a circuit.
+
+    ``kind`` is ``'pure'`` (``data`` is an amplitude vector) or
+    ``'mixed'`` (``data`` is a density matrix).
+    """
+
+    backend: str
+    kind: str
+    data: np.ndarray
+
+
+def result_discrepancy(a: BackendResult, b: BackendResult) -> float:
+    """Graded disagreement between two backend artifacts.
+
+    0.0 means physically identical (global phase ignored); the scale
+    is an infidelity, so a genuinely wrong gate shows up at O(1).
+    """
+    if a.kind == "pure" and b.kind == "pure":
+        return state_discrepancy(a.data, b.data)
+    if a.kind == "pure" and b.kind == "mixed":
+        return mixed_state_discrepancy(b.data, a.data)
+    if a.kind == "mixed" and b.kind == "pure":
+        return mixed_state_discrepancy(a.data, b.data)
+    return float(np.max(np.abs(a.data - b.data)))
+
+
+class Backend:
+    """Adapter interface: a named way to execute a unitary circuit."""
+
+    name: str = "backend"
+
+    def supports(self, circuit: Circuit) -> bool:
+        """Whether this backend can run the circuit at all."""
+        return not circuit.has_measurements \
+            and not circuit.has_classical_control
+
+    def run(self, circuit: Circuit) -> BackendResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+class StatevectorBackend(Backend):
+    """Dense tensor-contraction simulation (the reference backend)."""
+
+    name = "statevector"
+
+    def supports(self, circuit: Circuit) -> bool:
+        return super().supports(circuit) \
+            and circuit.num_qubits <= MAX_STATEVECTOR_QUBITS
+
+    def run(self, circuit: Circuit) -> BackendResult:
+        state = run_unitary(circuit)
+        return BackendResult(self.name, "pure",
+                             np.array(state.amplitudes))
+
+
+class SparseBackend(Backend):
+    """Sparse (index, amplitude) simulation with per-gate fast paths."""
+
+    name = "sparse"
+
+    def run(self, circuit: Circuit) -> BackendResult:
+        state = SparseState(circuit.num_qubits)
+        state.apply_circuit(circuit)
+        return BackendResult(self.name, "pure",
+                             np.array(state.to_dense().amplitudes))
+
+
+class DensityMatrixBackend(Backend):
+    """Exact channel evolution (the ensemble's natural picture)."""
+
+    name = "density_matrix"
+
+    def supports(self, circuit: Circuit) -> bool:
+        return super().supports(circuit) \
+            and circuit.num_qubits <= MAX_DENSITY_QUBITS
+
+    def run(self, circuit: Circuit) -> BackendResult:
+        rho = DensityMatrix(circuit.num_qubits)
+        rho.apply_circuit(circuit)
+        return BackendResult(self.name, "mixed", np.array(rho.matrix))
+
+
+class GateRewriteBackend(Backend):
+    """A backend with a gate substitution applied before execution.
+
+    Args:
+        inner: the adapter that actually runs the rewritten circuit.
+        rewrite: maps each gate to the gate to run instead (return the
+            input unchanged for gates the bug leaves alone).
+        name: reported backend name (defaults to ``inner.name+"!"``).
+
+    This is the oracle's fault-injection port: rewriting S to S_DG (or
+    CNOT to reversed CNOT, ...) produces a backend with a precisely
+    known bug, and the differential sweep must find and shrink it.
+    """
+
+    def __init__(self, inner: Backend,
+                 rewrite: Callable[[Gate], Gate],
+                 name: Optional[str] = None) -> None:
+        self._inner = inner
+        self._rewrite = rewrite
+        self.name = name if name is not None else inner.name + "!"
+
+    def supports(self, circuit: Circuit) -> bool:
+        return self._inner.supports(circuit)
+
+    def run(self, circuit: Circuit) -> BackendResult:
+        rewritten = Circuit(circuit.num_qubits, circuit.num_clbits,
+                            name=circuit.name)
+        for op in circuit.operations:
+            if not isinstance(op, GateOp):
+                raise VerificationError(
+                    "GateRewriteBackend handles unitary circuits only"
+                )
+            rewritten.add_gate(self._rewrite(op.gate), *op.qubits,
+                               condition=op.condition, tag=op.tag)
+        result = self._inner.run(rewritten)
+        return BackendResult(self.name, result.kind, result.data)
+
+
+def default_backends() -> Tuple[Backend, ...]:
+    """Fresh instances of every state backend, reference first."""
+    return (StatevectorBackend(), SparseBackend(),
+            DensityMatrixBackend())
+
+
+def swap_s_direction(gate: Gate) -> Gate:
+    """The canonical injected bug: confuse S with its inverse."""
+    from repro.circuits import gates as gate_lib
+
+    if gate.name == "S":
+        return gate_lib.S_DG
+    if gate.name == "S_DG":
+        return gate_lib.S
+    return gate
+
+
+def reverse_cnot(gate: Gate) -> Gate:
+    """Injected endianness-style bug: swap CNOT control and target."""
+    from repro.circuits import gates as gate_lib
+
+    if gate.name != "CNOT":
+        return gate
+    matrix = np.array([[1, 0, 0, 0], [0, 0, 0, 1],
+                       [0, 0, 1, 0], [0, 1, 0, 0]],
+                      dtype=np.complex128)
+    return Gate("CNOT_REV", matrix, 2, is_clifford=True,
+                inverse_name="CNOT_REV")

@@ -1,0 +1,208 @@
+"""Seeded property-based circuit generators.
+
+The differential oracle needs a stream of circuits that (a) exercises
+every gate fast-path of every backend, (b) is fully determined by an
+integer seed so any failure is reproducible from one number, and (c)
+includes circuits *shaped like the paper's gadgets* — cat states,
+fan-outs, parity networks, transversal block operations — because
+those are the structures whose correctness the thresholds depend on.
+
+Three families:
+
+``clifford``
+    Uniform random circuits over the Clifford vocabulary (X, Y, Z, H,
+    S, S_DG, CNOT, CZ, CY, SWAP).  Every backend — including the
+    Pauli tracker — is exact on these.
+``clifford_t``
+    The Clifford set plus the paper's non-Clifford gates (T, T_DG,
+    CS, CS_DG, TOFFOLI, CCZ, FREDKIN) and occasional RZ/GPHASE
+    rotations, exercising the sparse simulator's diagonal and generic
+    fall-back paths.
+``gadget``
+    Random compositions of the :mod:`repro.circuits.library`
+    fragments the fault-tolerant gadgets are assembled from, embedded
+    at random offsets.
+
+Every generator takes ``(seed, max_qubits, max_gates)`` and nothing
+else, so the reseed command printed on failure is a one-liner:
+``generate(family, seed, max_qubits=M, max_gates=G)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.circuits import gates, library
+from repro.circuits.circuit import Circuit
+from repro.circuits.pauli import PauliString
+from repro.exceptions import VerificationError
+
+#: Single- and multi-qubit Clifford vocabulary.
+CLIFFORD_1Q = (gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.S_DG)
+CLIFFORD_2Q = (gates.CNOT, gates.CZ, gates.CY, gates.SWAP)
+
+#: The paper's non-Clifford vocabulary.
+NON_CLIFFORD_1Q = (gates.T, gates.T_DG)
+NON_CLIFFORD_2Q = (gates.CS, gates.CS_DG)
+NON_CLIFFORD_3Q = (gates.TOFFOLI, gates.CCZ, gates.FREDKIN)
+
+#: RZ angles drawn for the rotation legs of ``clifford_t`` circuits.
+_ANGLES = (math.pi / 8, math.pi / 3, 5 * math.pi / 7, -math.pi / 5)
+
+
+def _pick_qubits(rng: np.random.Generator, num_qubits: int,
+                 arity: int) -> Tuple[int, ...]:
+    return tuple(int(q) for q in
+                 rng.choice(num_qubits, size=arity, replace=False))
+
+
+def _sizes(rng: np.random.Generator, max_qubits: int,
+           max_gates: int) -> Tuple[int, int]:
+    num_qubits = int(rng.integers(2, max(3, max_qubits + 1)))
+    num_gates = int(rng.integers(1, max(2, max_gates + 1)))
+    return num_qubits, num_gates
+
+
+def random_clifford_circuit(seed: int, max_qubits: int = 6,
+                            max_gates: int = 40) -> Circuit:
+    """A seeded random circuit over the Clifford gate set."""
+    rng = np.random.default_rng(seed)
+    num_qubits, num_gates = _sizes(rng, max_qubits, max_gates)
+    circuit = Circuit(num_qubits, name=f"clifford[s={seed}]")
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.4:
+            gate = CLIFFORD_2Q[int(rng.integers(len(CLIFFORD_2Q)))]
+            circuit.add_gate(gate, *_pick_qubits(rng, num_qubits, 2))
+        else:
+            gate = CLIFFORD_1Q[int(rng.integers(len(CLIFFORD_1Q)))]
+            circuit.add_gate(gate, *_pick_qubits(rng, num_qubits, 1))
+    return circuit
+
+
+def random_clifford_t_circuit(seed: int, max_qubits: int = 6,
+                              max_gates: int = 40) -> Circuit:
+    """A seeded random Clifford+T circuit (plus the paper's 3q gates)."""
+    rng = np.random.default_rng(seed)
+    num_qubits, num_gates = _sizes(rng, max_qubits, max_gates)
+    circuit = Circuit(num_qubits, name=f"clifford_t[s={seed}]")
+    for _ in range(num_gates):
+        roll = rng.random()
+        if roll < 0.45:
+            gate = CLIFFORD_1Q[int(rng.integers(len(CLIFFORD_1Q)))]
+            circuit.add_gate(gate, *_pick_qubits(rng, num_qubits, 1))
+        elif roll < 0.65 and num_qubits >= 2:
+            gate = CLIFFORD_2Q[int(rng.integers(len(CLIFFORD_2Q)))]
+            circuit.add_gate(gate, *_pick_qubits(rng, num_qubits, 2))
+        elif roll < 0.78:
+            gate = NON_CLIFFORD_1Q[int(rng.integers(len(NON_CLIFFORD_1Q)))]
+            circuit.add_gate(gate, *_pick_qubits(rng, num_qubits, 1))
+        elif roll < 0.86 and num_qubits >= 2:
+            gate = NON_CLIFFORD_2Q[int(rng.integers(len(NON_CLIFFORD_2Q)))]
+            circuit.add_gate(gate, *_pick_qubits(rng, num_qubits, 2))
+        elif roll < 0.94 and num_qubits >= 3:
+            gate = NON_CLIFFORD_3Q[int(rng.integers(len(NON_CLIFFORD_3Q)))]
+            circuit.add_gate(gate, *_pick_qubits(rng, num_qubits, 3))
+        elif roll < 0.97:
+            angle = _ANGLES[int(rng.integers(len(_ANGLES)))]
+            circuit.add_gate(gates.rz(angle),
+                             *_pick_qubits(rng, num_qubits, 1))
+        else:
+            angle = _ANGLES[int(rng.integers(len(_ANGLES)))]
+            circuit.add_gate(gates.global_phase(angle),
+                             *_pick_qubits(rng, num_qubits, 1))
+    return circuit
+
+
+def _gadget_fragments(rng: np.random.Generator,
+                      num_qubits: int) -> Circuit:
+    """One library fragment embedded at a random qubit mapping."""
+    kind = int(rng.integers(5))
+    if kind == 0:
+        size = int(rng.integers(2, min(4, num_qubits) + 1))
+        fragment = library.cat_state_circuit(size)
+    elif kind == 1 and num_qubits >= 2:
+        targets = int(rng.integers(1, num_qubits))
+        fragment = library.fanout_circuit(targets)
+    elif kind == 2 and num_qubits >= 2:
+        sources = int(rng.integers(1, num_qubits))
+        fragment = library.parity_circuit(sources)
+    elif kind == 3 and num_qubits >= 4:
+        block = num_qubits // 2
+        fragment = library.transversal_two_qubit(
+            gates.CNOT, list(range(block)),
+            list(range(block, 2 * block)), 2 * block,
+        )
+    else:
+        single = CLIFFORD_1Q[int(rng.integers(len(CLIFFORD_1Q)))]
+        count = int(rng.integers(1, num_qubits + 1))
+        targets = sorted(_pick_qubits(rng, num_qubits, count))
+        fragment = library.bitwise_circuit(single, targets, num_qubits)
+    return fragment
+
+
+def random_gadget_circuit(seed: int, max_qubits: int = 8,
+                          max_gates: int = 60) -> Circuit:
+    """Seeded composition of paper-style gadget fragments.
+
+    Fragments are wired into the register at random disjoint qubit
+    mappings, mimicking how the real gadgets embed cat-state blocks
+    and transversal couplings into a larger circuit.  ``max_gates``
+    caps the total operation count.
+    """
+    rng = np.random.default_rng(seed)
+    num_qubits = int(rng.integers(4, max(5, max_qubits + 1)))
+    circuit = Circuit(num_qubits, name=f"gadget[s={seed}]")
+    fragments = int(rng.integers(2, 5))
+    for _ in range(fragments):
+        fragment = _gadget_fragments(rng, num_qubits)
+        if fragment.num_qubits > num_qubits:
+            continue
+        mapping = list(_pick_qubits(rng, num_qubits,
+                                    fragment.num_qubits))
+        circuit.compose(fragment, qubits=mapping)
+        if len(circuit) >= max_gates:
+            break
+    if len(circuit) == 0:
+        circuit.add_gate(gates.H, 0)
+    return circuit
+
+
+def random_pauli(num_qubits: int, seed: int,
+                 allow_identity: bool = False) -> PauliString:
+    """A seeded random Pauli string on ``num_qubits`` qubits."""
+    rng = np.random.default_rng(seed)
+    letters = "IXYZ"
+    while True:
+        label = "".join(letters[int(rng.integers(4))]
+                        for _ in range(num_qubits))
+        pauli = PauliString.from_label(label)
+        if allow_identity or not pauli.is_identity:
+            return pauli
+
+
+#: family name -> generator(seed, max_qubits, max_gates)
+FAMILIES: Dict[str, Callable[[int, int, int], Circuit]] = {
+    "clifford": random_clifford_circuit,
+    "clifford_t": random_clifford_t_circuit,
+    "gadget": random_gadget_circuit,
+}
+
+
+def generate(family: str, seed: int, max_qubits: int = 6,
+             max_gates: int = 40) -> Circuit:
+    """Generate one seeded circuit from a named family.
+
+    This is the canonical reproduction entry point: the oracle's
+    failure reports print exactly this call.
+    """
+    try:
+        generator = FAMILIES[family]
+    except KeyError:
+        raise VerificationError(
+            f"unknown circuit family {family!r}; "
+            f"available: {sorted(FAMILIES)}"
+        ) from None
+    return generator(seed, max_qubits, max_gates)

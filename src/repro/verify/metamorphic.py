@@ -1,0 +1,206 @@
+"""Metamorphic properties: invariants every correct backend satisfies.
+
+Differential testing catches backends disagreeing with *each other*;
+metamorphic testing catches them agreeing on the *wrong* answer.  Each
+property here relates two executions whose outputs must coincide for
+any correct simulator, with no reference value needed:
+
+* :func:`inverse_roundtrip_discrepancy` — appending U^dagger after U
+  must restore the input state exactly (not just up to phase: the
+  inverse cancels the phase too);
+* :func:`pauli_frame_discrepancy` — for Clifford circuits,
+  ``C (P |psi>)`` must equal ``P' (C |psi>)`` with ``P' = C P C^dag``
+  from the Pauli tracker, *including* the tracked i^k phase — this is
+  the commutation rule the whole fault-propagation analysis relies on;
+* :func:`pauli_channel_conjugation_discrepancy` — the density-matrix
+  form of the same statement, conjugating rho through the channel;
+* :func:`codespace_discrepancy` — transversal logical gates must keep
+  codewords inside the code space (every stabilizer expectation stays
+  +1), the defining property of Sec. 3's automatic fault tolerance;
+* :func:`channel_linearity_discrepancy` — evolving a mixture must
+  equal the mixture of evolutions (channels are linear).
+
+All properties return a graded discrepancy (0.0 = holds exactly) so
+tests can assert tight numerical bounds and failures are rankable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, GateOp
+from repro.circuits.pauli import PauliString
+from repro.codes.quantum.css import CssCode
+from repro.exceptions import VerificationError
+from repro.ft.special_states import sparse_logical_state
+from repro.simulators.density_matrix import DensityMatrix
+from repro.simulators.pauli_tracker import PauliPropagator
+from repro.simulators.statevector import StateVector
+
+
+def _plus_state(num_qubits: int) -> StateVector:
+    """|+>^n — every Pauli letter acts non-trivially on it."""
+    dim = 2**num_qubits
+    return StateVector(
+        num_qubits,
+        np.full(dim, 1.0 / np.sqrt(dim), dtype=np.complex128),
+    )
+
+
+def inverse_roundtrip_discrepancy(circuit: Circuit,
+                                  initial: Optional[StateVector] = None
+                                  ) -> float:
+    """Max amplitude deviation of (U^dag U)|psi> from |psi>.
+
+    Phase-exact: U^dagger cancels U's global phase, so the roundtrip
+    must reproduce the input amplitudes literally.
+    """
+    state = (initial.copy() if initial is not None
+             else _plus_state(circuit.num_qubits))
+    reference = np.array(state.amplitudes)
+    state.apply_circuit(circuit)
+    state.apply_circuit(circuit.inverse())
+    return float(np.max(np.abs(np.array(state.amplitudes) - reference)))
+
+
+def is_clifford_circuit(circuit: Circuit) -> bool:
+    """Whether every gate in the circuit is Clifford."""
+    from repro.circuits.clifford import propagates_to_pauli
+
+    return all(
+        propagates_to_pauli(op.gate)
+        for op in circuit.operations if isinstance(op, GateOp)
+    )
+
+
+def _propagated(circuit: Circuit, pauli: PauliString) -> PauliString:
+    propagator = PauliPropagator(circuit, strict=True)
+    fault = propagator.propagate(pauli, after_op=-1)
+    if fault.wild_qubits:  # pragma: no cover - strict mode raises first
+        raise VerificationError("Pauli went wild in a Clifford circuit")
+    return fault.pauli
+
+
+def pauli_frame_discrepancy(circuit: Circuit,
+                            pauli: PauliString) -> float:
+    """Max amplitude deviation between C(P|psi>) and P'(C|psi>).
+
+    ``P' = C P C^dagger`` comes from :class:`PauliPropagator` in strict
+    mode; the comparison is phase-exact because the tracker's i^k
+    bookkeeping is part of what is being verified.  Requires a
+    Clifford circuit.
+    """
+    if pauli.num_qubits != circuit.num_qubits:
+        raise VerificationError("pauli size does not match circuit")
+    propagated = _propagated(circuit, pauli)
+
+    before = _plus_state(circuit.num_qubits)
+    before.apply_pauli(pauli)
+    before.apply_circuit(circuit)
+
+    after = _plus_state(circuit.num_qubits)
+    after.apply_circuit(circuit)
+    after.apply_pauli(propagated)
+
+    return float(np.max(np.abs(
+        np.array(before.amplitudes) - np.array(after.amplitudes)
+    )))
+
+
+def pauli_channel_conjugation_discrepancy(circuit: Circuit,
+                                          pauli: PauliString) -> float:
+    """Density-matrix form of the Pauli-frame property.
+
+    Evolving ``P rho P^dag`` through the circuit must equal
+    conjugating the evolved state by the propagated Pauli:
+    ``C (P rho P^dag) C^dag == P' (C rho C^dag) P'^dag``.  Global
+    phases cancel in the channel picture, so this independently
+    cross-checks the tracker against exact channel conjugation
+    without depending on phase conventions.
+    """
+    if pauli.num_qubits != circuit.num_qubits:
+        raise VerificationError("pauli size does not match circuit")
+    propagated = _propagated(circuit, pauli)
+    num_qubits = circuit.num_qubits
+
+    seed = _plus_state(num_qubits)
+    pauli_matrix = pauli.matrix()
+    propagated_matrix = propagated.matrix()
+
+    rho = DensityMatrix.from_statevector(seed).matrix
+    before = pauli_matrix @ rho @ pauli_matrix.conj().T
+    state_a = DensityMatrix(num_qubits, before)
+    state_a.apply_circuit(circuit)
+
+    state_b = DensityMatrix(num_qubits, rho.copy())
+    state_b.apply_circuit(circuit)
+    conjugated = (propagated_matrix @ state_b.matrix
+                  @ propagated_matrix.conj().T)
+
+    return float(np.max(np.abs(state_a.matrix - conjugated)))
+
+
+def codespace_discrepancy(code: CssCode, logical_circuit: Circuit,
+                          logical_amplitudes: Optional[dict] = None
+                          ) -> float:
+    """How far a transversal logical gate leaves the code space.
+
+    Prepares a logical state, applies the circuit (which may span
+    several blocks of ``code``), and returns the worst deviation of
+    any stabilizer-generator expectation from +1 over every block.
+    Exactly 0.0 certifies code-space preservation — the property that
+    makes transversal gates automatically fault tolerant (Sec. 3).
+    """
+    if logical_circuit.num_qubits % code.n:
+        raise VerificationError(
+            f"circuit width {logical_circuit.num_qubits} is not a "
+            f"multiple of the block size {code.n}"
+        )
+    num_blocks = logical_circuit.num_qubits // code.n
+    if logical_amplitudes is None:
+        # An unbiased logical state: (|0...0>_L + |1...1>_L)/sqrt(2).
+        logical_amplitudes = {
+            (0,) * num_blocks: 1.0,
+            (1,) * num_blocks: 1.0,
+        }
+    state = sparse_logical_state(code, logical_amplitudes)
+    state.apply_circuit(logical_circuit)
+    worst = 0.0
+    for block in range(num_blocks):
+        offsets = list(range(block * code.n, (block + 1) * code.n))
+        for generator in code.stabilizer_generators():
+            embedded = generator.embedded(logical_circuit.num_qubits,
+                                          offsets)
+            expectation = state.expectation_pauli(embedded)
+            worst = max(worst, abs(1.0 - expectation.real),
+                        abs(expectation.imag))
+    return worst
+
+
+def channel_linearity_discrepancy(
+        circuit: Circuit,
+        components: Sequence[Tuple[float, StateVector]]) -> float:
+    """Max deviation between evolving a mixture and mixing evolutions.
+
+    ``components`` is a list of (weight, pure state) with weights
+    summing to 1.  Both sides are exact density-matrix computations;
+    any nonlinearity in the simulator's channel application shows up
+    here directly.
+    """
+    weights = [w for w, _ in components]
+    if abs(sum(weights) - 1.0) > 1e-9:
+        raise VerificationError("mixture weights must sum to 1")
+    dim = 2**circuit.num_qubits
+    mixture = np.zeros((dim, dim), dtype=np.complex128)
+    mixed_evolved = np.zeros((dim, dim), dtype=np.complex128)
+    for weight, pure in components:
+        rho = DensityMatrix.from_statevector(pure)
+        mixture += weight * rho.matrix
+        evolved = rho.copy()
+        evolved.apply_circuit(circuit)
+        mixed_evolved += weight * evolved.matrix
+    whole = DensityMatrix(circuit.num_qubits, mixture)
+    whole.apply_circuit(circuit)
+    return float(np.max(np.abs(whole.matrix - mixed_evolved)))

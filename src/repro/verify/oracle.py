@@ -1,0 +1,292 @@
+"""The differential oracle: cross-simulator agreement checking.
+
+:func:`check_circuit` runs one circuit through every applicable state
+backend, compares all pairs up to global phase, and — for Clifford
+circuits — additionally checks the Pauli tracker's Heisenberg frame
+against the state picture.  :func:`differential_sweep` drives it over
+a seeded stream of generated circuits and shrinks every failure to a
+minimal reproducer.
+
+The oracle is also exported as reusable *invariant* callables
+(:func:`norm_invariant`, :func:`codespace_invariant`,
+:func:`combine_invariants`) with the signature the analysis engine's
+validation hook expects, so Monte-Carlo runs and benchmarks can
+assert simulator consistency mid-flight instead of trusting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.pauli import PauliString
+from repro.codes.quantum.css import CssCode
+from repro.exceptions import VerificationError
+from repro.simulators.sparse import SparseState
+from repro.verify import generators
+from repro.verify.backends import (
+    Backend,
+    BackendResult,
+    default_backends,
+    result_discrepancy,
+)
+from repro.verify.metamorphic import is_clifford_circuit
+from repro.verify.reporting import dump_circuit, reseed_command
+from repro.verify.shrink import shrink_circuit
+
+#: Discrepancies below this are numerical noise, not divergences.
+DEFAULT_ATOL = 1e-9
+
+#: Clifford frame checks push one X and one Z through the circuit per
+#: qubit-pair sample; two probes per circuit keeps the sweep fast while
+#: still touching both error species.
+_FRAME_PROBES = 2
+
+
+@dataclass
+class Divergence:
+    """Two views of one circuit disagreeing beyond tolerance."""
+
+    backend_a: str
+    backend_b: str
+    discrepancy: float
+    circuit: Circuit
+    family: Optional[str] = None
+    seed: Optional[int] = None
+    shrunk: Optional[Circuit] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        lines = [
+            f"divergence {self.backend_a} vs {self.backend_b}: "
+            f"discrepancy {self.discrepancy:.3e}"
+            + (f" ({self.detail})" if self.detail else ""),
+        ]
+        if self.family is not None and self.seed is not None:
+            lines.append(f"family={self.family} seed={self.seed}")
+        target = self.shrunk if self.shrunk is not None else self.circuit
+        lines.append(dump_circuit(target))
+        return "\n".join(lines)
+
+
+def _frame_probe_paulis(circuit: Circuit,
+                        seed: int) -> List[PauliString]:
+    """Deterministic non-identity Paulis to push through the circuit."""
+    probes = []
+    for index in range(_FRAME_PROBES):
+        probes.append(generators.random_pauli(
+            circuit.num_qubits, seed * 7919 + index * 104729 + 1,
+        ))
+    return probes
+
+
+def check_circuit(circuit: Circuit,
+                  backends: Optional[Sequence[Backend]] = None,
+                  atol: float = DEFAULT_ATOL,
+                  frame_checks: bool = True,
+                  frame_seed: int = 0) -> Optional[Divergence]:
+    """Run one circuit through every backend pair; None means agreement.
+
+    State backends are compared pairwise up to global phase.  When the
+    circuit is Clifford and ``frame_checks`` is on, the Pauli tracker
+    is cross-checked against the state-vector picture via the
+    commutation property ``C P = (C P C^dag) C`` on seeded probe
+    Paulis.  The first divergence found is returned (un-shrunk; see
+    :func:`differential_sweep` for shrinking).
+    """
+    from repro.verify.metamorphic import pauli_frame_discrepancy
+
+    if backends is None:
+        backends = default_backends()
+    results: List[BackendResult] = []
+    for backend in backends:
+        if backend.supports(circuit):
+            results.append(backend.run(circuit))
+    for i in range(len(results)):
+        for j in range(i + 1, len(results)):
+            discrepancy = result_discrepancy(results[i], results[j])
+            if discrepancy > atol:
+                return Divergence(
+                    backend_a=results[i].backend,
+                    backend_b=results[j].backend,
+                    discrepancy=discrepancy,
+                    circuit=circuit,
+                )
+    if frame_checks and is_clifford_circuit(circuit):
+        for pauli in _frame_probe_paulis(circuit, frame_seed):
+            discrepancy = pauli_frame_discrepancy(circuit, pauli)
+            if discrepancy > max(atol, 1e-7):
+                return Divergence(
+                    backend_a="pauli_tracker",
+                    backend_b="statevector",
+                    discrepancy=discrepancy,
+                    circuit=circuit,
+                    detail=f"probe {pauli!r}",
+                )
+    return None
+
+
+def divergence_predicate(backends: Optional[Sequence[Backend]] = None,
+                         atol: float = DEFAULT_ATOL,
+                         frame_checks: bool = False
+                         ) -> Callable[[Circuit], bool]:
+    """A shrinker predicate: True when the circuit still diverges."""
+    def predicate(candidate: Circuit) -> bool:
+        return check_circuit(candidate, backends=backends, atol=atol,
+                             frame_checks=frame_checks) is not None
+    return predicate
+
+
+@dataclass
+class SweepReport:
+    """Everything a differential sweep found."""
+
+    circuits_run: int
+    families: Tuple[str, ...]
+    seed: int
+    max_qubits: int
+    max_gates: int
+    divergences: List[Divergence] = field(default_factory=list)
+    backend_names: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        lines = [
+            f"differential sweep: {self.circuits_run} circuits "
+            f"(families {', '.join(self.families)}; seed {self.seed}) "
+            f"across backends {', '.join(self.backend_names)}: "
+            f"{len(self.divergences)} divergence(s)",
+        ]
+        for divergence in self.divergences:
+            lines.append(str(divergence))
+            if divergence.family is not None \
+                    and divergence.seed is not None:
+                lines.append(reseed_command(
+                    divergence.family, divergence.seed,
+                    self.max_qubits, self.max_gates,
+                ))
+        return "\n".join(lines)
+
+
+def circuit_seed_for(base_seed: int, index: int) -> int:
+    """The per-circuit seed of sweep item ``index`` (reproducible)."""
+    return int(base_seed * 1_000_003 + index)
+
+
+def differential_sweep(num_circuits: int,
+                       seed: int = 0,
+                       families: Sequence[str] = ("clifford",
+                                                  "clifford_t",
+                                                  "gadget"),
+                       max_qubits: int = 6,
+                       max_gates: int = 40,
+                       backends: Optional[Sequence[Backend]] = None,
+                       atol: float = DEFAULT_ATOL,
+                       shrink: bool = True,
+                       stop_on_first: bool = False) -> SweepReport:
+    """Fuzz ``num_circuits`` seeded circuits through the oracle.
+
+    Circuit ``i`` uses family ``families[i % len]`` and seed
+    :func:`circuit_seed_for(seed, i)`, so every item is independently
+    reproducible.  Failures are shrunk to minimal reproducers (state
+    comparisons only — the frame property is re-checked separately on
+    the shrunk circuit and reported as-is when it is the diverging
+    pair).
+    """
+    if backends is None:
+        backends = default_backends()
+    report = SweepReport(
+        circuits_run=0,
+        families=tuple(families),
+        seed=seed,
+        max_qubits=max_qubits,
+        max_gates=max_gates,
+        backend_names=tuple(b.name for b in backends),
+    )
+    for index in range(num_circuits):
+        family = families[index % len(families)]
+        circuit_seed = circuit_seed_for(seed, index)
+        circuit = generators.generate(family, circuit_seed,
+                                      max_qubits=max_qubits,
+                                      max_gates=max_gates)
+        divergence = check_circuit(circuit, backends=backends,
+                                   atol=atol, frame_seed=circuit_seed)
+        report.circuits_run += 1
+        if divergence is None:
+            continue
+        divergence.family = family
+        divergence.seed = circuit_seed
+        if shrink:
+            frame_pair = divergence.backend_a == "pauli_tracker"
+            predicate = divergence_predicate(
+                backends=backends, atol=atol, frame_checks=frame_pair,
+            )
+            try:
+                divergence.shrunk = shrink_circuit(
+                    circuit, predicate).circuit
+            except VerificationError:
+                divergence.shrunk = None
+        report.divergences.append(divergence)
+        if stop_on_first:
+            break
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Engine invariants (the oracle hook of repro.analysis.engine)
+# ---------------------------------------------------------------------------
+
+def norm_invariant(atol: float = 1e-6) -> Callable[[SparseState], None]:
+    """Invariant: the simulated state stays normalised.
+
+    Unitary gates and Pauli faults both preserve the norm, so any
+    drift flags a simulator defect (e.g. a broken merge/prune pass).
+    """
+    def check(state: SparseState) -> None:
+        norm = float(np.linalg.norm(
+            np.array(list(state.terms().values()))
+        ))
+        if abs(norm - 1.0) > atol:
+            raise VerificationError(
+                f"norm invariant violated: |psi| = {norm:.9f}"
+            )
+    return check
+
+
+def codespace_invariant(code: CssCode, block: Sequence[int],
+                        atol: float = 1e-7
+                        ) -> Callable[[SparseState], None]:
+    """Invariant: a block stays in the code space (noiseless runs).
+
+    Only valid for fault-free validation runs — injected faults move
+    states off the code space by design.  Useful for certifying that
+    a gadget's *ideal* execution never leaks out of the code space.
+    """
+    block = list(block)
+
+    def check(state: SparseState) -> None:
+        for generator in code.stabilizer_generators():
+            embedded = generator.embedded(state.num_qubits, block)
+            expectation = state.expectation_pauli(embedded)
+            if abs(1.0 - expectation.real) > atol \
+                    or abs(expectation.imag) > atol:
+                raise VerificationError(
+                    f"codespace invariant violated: <{generator!r}> "
+                    f"= {expectation:.9f}"
+                )
+    return check
+
+
+def combine_invariants(*invariants: Callable[[SparseState], None]
+                       ) -> Callable[[SparseState], None]:
+    """Run several invariants as one engine hook."""
+    def check(state: SparseState) -> None:
+        for invariant in invariants:
+            invariant(state)
+    return check

@@ -16,16 +16,25 @@ _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def report(title: str, lines: Iterable[str]) -> str:
-    """Print a titled report block and persist it to the results file."""
+    """Print a titled report block and persist it to the results file.
+
+    The block is appended with a single ``O_APPEND`` write so
+    concurrent benchmark processes (``pytest-xdist``, parallel CI
+    lanes) interleave whole blocks, never torn lines.
+    """
     body = "\n".join(lines)
     block = (
         f"\n{'=' * 72}\n{title}\n{'-' * 72}\n{body}\n{'=' * 72}\n"
     )
     print(block)
     os.makedirs(_RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(_RESULTS_DIR, "report.txt"), "a",
-              encoding="utf-8") as handle:
-        handle.write(block)
+    fd = os.open(os.path.join(_RESULTS_DIR, "report.txt"),
+                 os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, block.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
     return block
 
 

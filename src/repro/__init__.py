@@ -27,6 +27,9 @@ DSN 2004:
   seeded circuit fuzzing, cross-simulator agreement oracle, ddmin
   shrinking of failures, metamorphic properties and the engine's
   validation-mode invariants.
+* :mod:`repro.runtime` — the resilient execution runtime: crash-safe
+  checkpoint journals, supervised worker pools, backend degradation
+  ladders and the deterministic chaos harness that certifies them.
 """
 
 from repro import (
@@ -37,11 +40,13 @@ from repro import (
     ensemble,
     ft,
     noise,
+    runtime,
     simulators,
     verify,
 )
 from repro.exceptions import (
     AnalysisError,
+    CheckpointError,
     CircuitError,
     CodeError,
     DecodingFailure,
@@ -49,6 +54,7 @@ from repro.exceptions import (
     FaultToleranceError,
     GateError,
     ReproError,
+    RuntimeIntegrityError,
     SimulationError,
     VerificationError,
 )
@@ -57,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "CheckpointError",
     "CircuitError",
     "CodeError",
     "DecodingFailure",
@@ -64,6 +71,7 @@ __all__ = [
     "FaultToleranceError",
     "GateError",
     "ReproError",
+    "RuntimeIntegrityError",
     "SimulationError",
     "VerificationError",
     "__version__",
@@ -74,6 +82,7 @@ __all__ = [
     "ensemble",
     "ft",
     "noise",
+    "runtime",
     "simulators",
     "verify",
 ]

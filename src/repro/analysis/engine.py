@@ -26,6 +26,24 @@ and malignant-pair sampling — through a shared three-phase schedule:
    chunks.  Verdicts are independent booleans, so evaluation order
    cannot affect results.
 
+Since PR 3 the evaluate phase runs under the resilience layer of
+:mod:`repro.runtime`:
+
+* pool scheduling goes through a :class:`~repro.runtime.Supervisor`
+  (per-chunk deadlines, bounded retry with backoff, in-parent
+  quarantine of chunks that keep failing — recorded in
+  :class:`EngineStats`, never dropped);
+* per-pattern evaluation degrades down a
+  :class:`~repro.runtime.FallbackPolicy` ladder (sparse →
+  statevector → density matrix) on ``MemoryError`` /
+  ``SimulationError``, with retry-once on invariant
+  ``VerificationError``;
+* ``checkpoint=`` journals completed evaluation chunks through a
+  :class:`~repro.runtime.CheckpointStore`, and ``resume=`` replays
+  them so an interrupted campaign finishes bit-identically to an
+  uninterrupted one (verdicts depend only on the canonical pattern,
+  and the sample phase is already deterministic per seed).
+
 Caching assumes evaluators are *phase-insensitive*: two fault lists
 with the same canonical pattern can differ by a global phase (Paulis
 inserted at the same point in either order), which every shipped
@@ -39,10 +57,10 @@ evaluation with identical results.
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -60,6 +78,10 @@ from repro.exceptions import AnalysisError
 from repro.ft.gadget import Gadget, apply_circuit_with_faults
 from repro.noise.locations import FaultLocation
 from repro.noise.model import NoiseModel
+from repro.runtime.checkpoint import CheckpointStore, as_store
+from repro.runtime.fallback import FallbackRecord
+from repro.runtime.policy import RuntimePolicy, resolve_policy
+from repro.runtime.supervisor import Supervisor
 from repro.simulators.sparse import SparseState
 
 #: One concrete fault: (pauli, after_op) exactly as the injector takes it.
@@ -71,12 +93,100 @@ FaultPattern = Tuple[Fault, ...]
 #: determinism contract: results depend on (seed, trials, chunk_size).
 DEFAULT_CHUNK_SIZE = 256
 
+#: Generous default bound on memoised verdicts; far above any shipped
+#: workload, but finite so a runaway campaign cannot OOM the parent.
+DEFAULT_CACHE_MAX_ENTRIES = 1 << 20
+
+#: Ceiling on trials/samples per run.  Far beyond anything the sparse
+#: simulator could evaluate in a lifetime; its real job is rejecting
+#: corrupted inputs (e.g. an overflowed or negative count fed from a
+#: config file) before they reach the multiprocessing machinery.
+MAX_WORK_ITEMS = 1 << 48
+
 _HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 #: Fork-inherited evaluation context for pool workers (set in the
 #: parent immediately before the pool is created; children copy it at
 #: fork time, so nothing unpicklable ever crosses the pipe).
 _WORKER_CONTEXT: Optional["_EvalContext"] = None
+
+
+# ---------------------------------------------------------------------------
+# Input validation (shared by every public entry point)
+# ---------------------------------------------------------------------------
+
+def _coerce_count(value, name: str,
+                  maximum: int = MAX_WORK_ITEMS) -> int:
+    """Strictly validate a work-item count (trials/samples)."""
+    if isinstance(value, bool) or not isinstance(
+            value, (int, np.integer)):
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        else:
+            raise AnalysisError(
+                f"{name} must be an integer, got {value!r} "
+                f"({type(value).__name__})"
+            )
+    value = int(value)
+    if value < 0:
+        raise AnalysisError(
+            f"{name} must be non-negative, got {value}"
+        )
+    if value > maximum:
+        raise AnalysisError(
+            f"{name}={value} exceeds the engine's {maximum} "
+            f"work-item ceiling; this is almost certainly a "
+            f"corrupted or overflowed count"
+        )
+    return value
+
+
+def _coerce_chunk_size(value) -> int:
+    """Strictly validate ``chunk_size`` (part of the seed contract)."""
+    if isinstance(value, bool) or not isinstance(
+            value, (int, np.integer)):
+        raise AnalysisError(
+            f"chunk_size must be an integer, got {value!r} "
+            f"({type(value).__name__}); it is part of the "
+            f"determinism contract and cannot be rounded silently"
+        )
+    value = int(value)
+    if value < 1:
+        raise AnalysisError(
+            f"chunk_size must be >= 1, got {value}"
+        )
+    return value
+
+
+def _coerce_workers(value) -> int:
+    """Strictly validate an explicit worker count."""
+    if isinstance(value, bool) or not isinstance(
+            value, (int, np.integer)):
+        raise AnalysisError(
+            f"workers must be a positive integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    value = int(value)
+    if value < 1:
+        raise AnalysisError(
+            f"workers must be >= 1, got {value}; pass workers=None "
+            f"(with parallel=False) for the serial path"
+        )
+    return value
+
+
+def resolve_workers(parallel: bool, workers: Optional[int]) -> int:
+    """Shared resolution of the public ``parallel=``/``workers=`` knobs.
+
+    An explicit ``workers`` must be a positive integer — zero,
+    negative or fractional counts raise :class:`AnalysisError` instead
+    of falling through to an opaque ``multiprocessing`` failure.
+    """
+    if workers is not None:
+        return _coerce_workers(workers)
+    if parallel:
+        return max(1, os.cpu_count() or 1)
+    return 1
 
 
 def _fault_sort_key(fault: Fault) -> Tuple[int, Tuple[int, ...],
@@ -119,12 +229,36 @@ class FaultPatternCache:
     Verdicts depend only on the fault pattern (the gadget, input state
     and evaluator are fixed per cache), not on the error rate p, so
     one cache can be shared across an entire p sweep.
+
+    The cache is LRU-bounded: ``max_entries`` (default generous —
+    :data:`DEFAULT_CACHE_MAX_ENTRIES`) caps memory on unbounded
+    campaigns, evicting the least-recently-used verdict and counting
+    it in :attr:`evictions`.  Eviction is invisible to correctness —
+    an evicted pattern is simply re-simulated on next request —
+    and surfaces in :class:`EngineStats` so capped runs are
+    diagnosable.  ``max_entries=None`` disables the bound.
     """
 
-    def __init__(self) -> None:
-        self._verdicts: Dict[FaultPattern, bool] = {}
+    def __init__(self, max_entries: Optional[int]
+                 = DEFAULT_CACHE_MAX_ENTRIES) -> None:
+        if max_entries is not None:
+            if isinstance(max_entries, bool) or not isinstance(
+                    max_entries, (int, np.integer)):
+                raise AnalysisError(
+                    f"max_entries must be an integer or None, got "
+                    f"{max_entries!r}"
+                )
+            max_entries = int(max_entries)
+            if max_entries < 1:
+                raise AnalysisError(
+                    f"max_entries must be >= 1, got {max_entries}"
+                )
+        self.max_entries = max_entries
+        self._verdicts: "OrderedDict[FaultPattern, bool]" = \
+            OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._verdicts)
@@ -133,19 +267,28 @@ class FaultPatternCache:
         return pattern in self._verdicts
 
     def get(self, pattern: FaultPattern) -> Optional[bool]:
-        return self._verdicts.get(pattern)
+        verdict = self._verdicts.get(pattern)
+        if verdict is not None or pattern in self._verdicts:
+            self._verdicts.move_to_end(pattern)
+        return verdict
 
     def store(self, pattern: FaultPattern, verdict: bool) -> None:
         self._verdicts[pattern] = bool(verdict)
+        self._verdicts.move_to_end(pattern)
+        if self.max_entries is not None:
+            while len(self._verdicts) > self.max_entries:
+                self._verdicts.popitem(last=False)
+                self.evictions += 1
 
     def items(self):
-        """(pattern, verdict) pairs, in first-stored order."""
+        """(pattern, verdict) pairs, least-recently-used first."""
         return self._verdicts.items()
 
     def clear(self) -> None:
         self._verdicts.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 @dataclass(frozen=True)
@@ -190,6 +333,16 @@ class EngineStats:
     total_seconds: float = 0.0
     worker_busy_seconds: float = 0.0
     chunk_timings: List[ChunkTiming] = field(default_factory=list)
+    # -- resilience accounting (repro.runtime) ----------------------
+    retries: int = 0
+    hung_chunks: int = 0
+    worker_errors: int = 0
+    pool_restarts: int = 0
+    quarantined_chunks: int = 0
+    degraded_evaluations: Dict[str, int] = field(default_factory=dict)
+    invariant_retries: int = 0
+    cache_evictions: int = 0
+    resumed_verdicts: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -209,9 +362,40 @@ class EngineStats:
             return 0.0
         return min(1.0, self.worker_busy_seconds / denominator)
 
+    @property
+    def degraded_total(self) -> int:
+        return sum(self.degraded_evaluations.values())
+
+    def absorb(self, other: "EngineStats") -> None:
+        """Fold another run's stats into this one (multi-phase
+        reports: exhaustive + pair sampling share one block)."""
+        self.trials += other.trials
+        self.requests += other.requests
+        self.evaluations += other.evaluations
+        self.cache_hits += other.cache_hits
+        self.distinct_patterns += other.distinct_patterns
+        self.chunks += other.chunks
+        self.workers = max(self.workers, other.workers)
+        self.sample_seconds += other.sample_seconds
+        self.eval_seconds += other.eval_seconds
+        self.total_seconds += other.total_seconds
+        self.worker_busy_seconds += other.worker_busy_seconds
+        self.chunk_timings.extend(other.chunk_timings)
+        self.retries += other.retries
+        self.hung_chunks += other.hung_chunks
+        self.worker_errors += other.worker_errors
+        self.pool_restarts += other.pool_restarts
+        self.quarantined_chunks += other.quarantined_chunks
+        for backend, count in other.degraded_evaluations.items():
+            self.degraded_evaluations[backend] = \
+                self.degraded_evaluations.get(backend, 0) + count
+        self.invariant_retries += other.invariant_retries
+        self.cache_evictions += other.cache_evictions
+        self.resumed_verdicts += other.resumed_verdicts
+
     def summary_lines(self) -> List[str]:
         """Human-readable block for benchmark reports."""
-        return [
+        lines = [
             f"engine: {self.trials} trials in {self.total_seconds:.2f}s "
             f"({self.trials_per_second:.0f} trials/s), "
             f"workers={self.workers}, chunks={self.chunks}",
@@ -223,6 +407,28 @@ class EngineStats:
             f"evaluate {self.eval_seconds:.2f}s, "
             f"worker utilization {100 * self.worker_utilization:.0f}%",
         ]
+        incidents = (self.retries or self.hung_chunks
+                     or self.worker_errors or self.pool_restarts
+                     or self.quarantined_chunks or self.degraded_total
+                     or self.invariant_retries or self.cache_evictions
+                     or self.resumed_verdicts)
+        if incidents:
+            degraded = ", ".join(
+                f"{backend}={count}" for backend, count in
+                sorted(self.degraded_evaluations.items())
+            ) or "none"
+            lines.append(
+                f"  resilience: {self.retries} retries, "
+                f"{self.hung_chunks} hung, "
+                f"{self.worker_errors} worker errors, "
+                f"{self.pool_restarts} pool restarts, "
+                f"{self.quarantined_chunks} quarantined; "
+                f"degraded [{degraded}], "
+                f"{self.invariant_retries} invariant retries, "
+                f"{self.resumed_verdicts} resumed verdicts, "
+                f"{self.cache_evictions} cache evictions"
+            )
+        return lines
 
 
 @dataclass
@@ -235,33 +441,84 @@ class ExhaustiveSurvey:
 
 
 class _EvalContext:
-    """Everything a worker needs to turn a pattern into a verdict."""
+    """Everything a worker needs to turn a pattern into a verdict.
+
+    Carries the runtime policy's fallback ladder and chaos plan into
+    forked workers (by inheritance — nothing crosses the pipe).
+    """
 
     def __init__(self, gadget: Gadget, initial_state: SparseState,
                  evaluator: Callable[[SparseState], bool],
                  invariant: Optional[Callable[[SparseState], None]]
-                 = None) -> None:
+                 = None,
+                 policy: Optional[RuntimePolicy] = None) -> None:
         self.gadget = gadget
         self.initial_state = initial_state
         self.evaluator = evaluator
         self.invariant = invariant
+        self.policy = resolve_policy(policy)
 
     def evaluate(self, pattern: FaultPattern) -> bool:
+        """Plain single-pattern evaluation (no chaos coordinates)."""
+        return evaluate_fault_pattern(self.gadget, self.initial_state,
+                                      self.evaluator, pattern,
+                                      invariant=self.invariant)
+
+    def evaluate_one(self, pattern: FaultPattern,
+                     record: FallbackRecord, chunk_index: int,
+                     attempt: int, in_worker: bool) -> bool:
+        chaos = self.policy.chaos
+        fallback = self.policy.fallback
+        if fallback is not None:
+            return fallback.evaluate(
+                self.gadget, self.initial_state, self.evaluator,
+                pattern, invariant=self.invariant, record=record,
+                chaos=chaos, chunk_index=chunk_index, attempt=attempt,
+                in_worker=in_worker,
+            )
+        if chaos is not None:
+            injected = chaos.primary_backend_error(
+                chunk_index, attempt, in_worker)
+            if injected is not None:
+                raise injected
         return evaluate_fault_pattern(self.gadget, self.initial_state,
                                       self.evaluator, pattern,
                                       invariant=self.invariant)
 
 
-def _eval_chunk(task: Tuple[int, List[FaultPattern]]
-                ) -> Tuple[int, List[bool], float, int]:
+#: Worker result: (index, verdicts, seconds, pid, resilience payload).
+_ChunkResult = Tuple[int, List[bool], float, int, Dict[str, object]]
+
+
+def _evaluate_chunk(context: _EvalContext, index: int,
+                    patterns: Sequence[FaultPattern], attempt: int,
+                    in_worker: bool) -> _ChunkResult:
+    """Evaluate one chunk under the context's runtime policy."""
+    start = time.perf_counter()
+    chaos = context.policy.chaos
+    if chaos is not None and in_worker:
+        chaos.on_chunk_start(index, attempt, in_worker=True)
+    record = FallbackRecord()
+    verdicts = [context.evaluate_one(pattern, record, index, attempt,
+                                     in_worker)
+                for pattern in patterns]
+    resilience = {
+        "degraded": dict(record.degraded),
+        "invariant_retries": record.invariant_retries,
+    }
+    return (index, verdicts, time.perf_counter() - start, os.getpid(),
+            resilience)
+
+
+def _eval_chunk(task: Tuple[int, List[FaultPattern], int]
+                ) -> _ChunkResult:
     """Pool entry point: evaluate one chunk via the forked context."""
-    index, patterns = task
+    index, patterns, attempt = task
     context = _WORKER_CONTEXT
     if context is None:  # pragma: no cover - defensive
         raise AnalysisError("engine worker started without a context")
-    start = time.perf_counter()
-    verdicts = [context.evaluate(pattern) for pattern in patterns]
-    return index, verdicts, time.perf_counter() - start, os.getpid()
+    return _evaluate_chunk(context, index, patterns, attempt,
+                           in_worker=True)
 
 
 def _chunk_slices(total: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -275,25 +532,32 @@ def _evaluate_patterns(context: _EvalContext,
                        chunk_size: int,
                        stats: EngineStats,
                        progress: Optional[Callable[[ProgressEvent], None]],
+                       journal: Optional[CheckpointStore] = None,
                        ) -> List[bool]:
     """Verdicts for ``patterns``, fanned out when ``workers > 1``.
 
     Evaluation chunking never affects results (verdicts are
-    independent), only scheduling granularity.
+    independent), only scheduling granularity.  In pool mode the fan-
+    out is supervised (deadlines, retries, quarantine — see
+    :mod:`repro.runtime.supervisor`); completed chunks are journaled
+    to ``journal`` *before* the progress callback fires, so an
+    interrupt raised from ``progress`` never loses a finished chunk.
     """
     verdicts: List[bool] = [False] * len(patterns)
     if not patterns:
         return verdicts
     slices = _chunk_slices(len(patterns), chunk_size)
-    tasks = [(i, patterns[lo:hi]) for i, (lo, hi) in enumerate(slices)]
-    pool_workers = min(workers, len(tasks))
+    payloads = [patterns[lo:hi] for lo, hi in slices]
+    pool_workers = min(workers, len(payloads))
     use_pool = pool_workers > 1 and _HAS_FORK
     stats.workers = max(stats.workers, pool_workers if use_pool else 1)
     start = time.perf_counter()
     done_patterns = 0
 
     def _record(index: int, chunk_verdicts: List[bool],
-                seconds: float, pid: int) -> None:
+                seconds: float, pid: int,
+                resilience: Optional[Dict[str, object]] = None
+                ) -> None:
         nonlocal done_patterns
         lo, hi = slices[index]
         verdicts[lo:hi] = chunk_verdicts
@@ -303,31 +567,54 @@ def _evaluate_patterns(context: _EvalContext,
             index=index, patterns=hi - lo, seconds=seconds,
             worker_pid=pid,
         ))
+        if resilience:
+            for backend, count in resilience.get(
+                    "degraded", {}).items():
+                stats.degraded_evaluations[backend] = \
+                    stats.degraded_evaluations.get(backend, 0) + count
+            stats.invariant_retries += \
+                int(resilience.get("invariant_retries", 0))
+        if journal is not None:
+            journal.append_verdicts(
+                zip(patterns[lo:hi], chunk_verdicts))
         if progress is not None:
             progress(ProgressEvent(
                 phase="evaluate", done=done_patterns,
                 total=len(patterns), chunk_index=index,
-                chunks_total=len(tasks),
+                chunks_total=len(payloads),
                 elapsed_seconds=time.perf_counter() - start,
             ))
 
     if use_pool:
+        supervisor = Supervisor(context.policy.supervisor)
         global _WORKER_CONTEXT
         _WORKER_CONTEXT = context
         try:
-            fork = multiprocessing.get_context("fork")
-            with fork.Pool(processes=pool_workers) as pool:
-                for result in pool.imap(_eval_chunk, tasks):
-                    _record(*result)
+            report = supervisor.run(
+                num_tasks=len(payloads),
+                make_task=lambda index, attempt: (
+                    index, payloads[index], attempt),
+                worker_fn=_eval_chunk,
+                workers=pool_workers,
+                on_result=lambda index, result: _record(*result),
+                local_eval=lambda index: _evaluate_chunk(
+                    context, index, payloads[index],
+                    attempt=context.policy.supervisor.max_retries + 1,
+                    in_worker=False),
+            )
         finally:
             _WORKER_CONTEXT = None
+        stats.retries += report.retries
+        stats.hung_chunks += report.expired_chunks
+        stats.worker_errors += report.worker_errors
+        stats.pool_restarts += report.pool_restarts
+        stats.quarantined_chunks += len(report.quarantined)
     else:
-        for task in tasks:
-            chunk_start = time.perf_counter()
-            index, chunk_patterns = task
-            chunk_verdicts = [context.evaluate(p) for p in chunk_patterns]
-            _record(index, chunk_verdicts,
-                    time.perf_counter() - chunk_start, os.getpid())
+        for index, chunk_patterns in enumerate(payloads):
+            result = _evaluate_chunk(context, index, chunk_patterns,
+                                     attempt=0, in_worker=False)
+            _record(result[0], result[1], result[2], result[3],
+                    result[4])
     stats.eval_seconds += time.perf_counter() - start
     return verdicts
 
@@ -340,6 +627,7 @@ def _resolve_verdicts(context: _EvalContext,
                       chunk_size: int,
                       stats: EngineStats,
                       progress: Optional[Callable[[ProgressEvent], None]],
+                      journal: Optional[CheckpointStore] = None,
                       ) -> Dict[FaultPattern, bool]:
     """Map each distinct pattern to its verdict.
 
@@ -354,6 +642,7 @@ def _resolve_verdicts(context: _EvalContext,
     stats.distinct_patterns += len(pattern_counts)
     verdict_map: Dict[FaultPattern, bool] = {}
     if memoize:
+        evictions_before = cache.evictions if cache is not None else 0
         missing = [pattern for pattern in pattern_counts
                    if cache is None or pattern not in cache]
         if cache is not None:
@@ -361,7 +650,8 @@ def _resolve_verdicts(context: _EvalContext,
                 if pattern in cache:
                     verdict_map[pattern] = bool(cache.get(pattern))
         verdicts = _evaluate_patterns(context, missing, workers,
-                                      chunk_size, stats, progress)
+                                      chunk_size, stats, progress,
+                                      journal=journal)
         for pattern, verdict in zip(missing, verdicts):
             verdict_map[pattern] = verdict
             if cache is not None:
@@ -371,12 +661,14 @@ def _resolve_verdicts(context: _EvalContext,
         if cache is not None:
             cache.misses += len(missing)
             cache.hits += requests - len(missing)
+            stats.cache_evictions += cache.evictions - evictions_before
     else:
         expanded: List[FaultPattern] = []
         for pattern, multiplicity in pattern_counts.items():
             expanded.extend([pattern] * multiplicity)
         verdicts = _evaluate_patterns(context, expanded, workers,
-                                      chunk_size, stats, progress)
+                                      chunk_size, stats, progress,
+                                      journal=journal)
         for pattern, verdict in zip(expanded, verdicts):
             verdict_map[pattern] = verdict
         stats.evaluations += len(expanded)
@@ -410,6 +702,50 @@ def _spawn_chunks(seed: Optional[int], total: int, chunk_size: int
     return [(hi - lo, child) for (lo, hi), child in zip(slices, children)]
 
 
+def _open_journal(checkpoint, resume: bool, seed: Optional[int],
+                  memoize: bool,
+                  cache: Optional[FaultPatternCache],
+                  fingerprint: Dict[str, object],
+                  stats: EngineStats,
+                  needs_seed: bool = True,
+                  ) -> Tuple[Optional[CheckpointStore],
+                             Optional[FaultPatternCache]]:
+    """Shared ``checkpoint=``/``resume=`` handling for the run_* entry
+    points.
+
+    Returns the opened store (or None) and the cache to use —
+    checkpointing requires a cache, so one is created when the caller
+    did not supply one.  On resume the journal's verdicts are
+    replayed into the cache after the fingerprint check; on a fresh
+    run the directory is cleared and a new header written.
+    """
+    store = as_store(checkpoint)
+    if store is None:
+        return None, cache
+    if needs_seed and seed is None:
+        raise AnalysisError(
+            "checkpointing requires an explicit seed: an unseeded run "
+            "draws OS entropy and cannot be resumed bit-identically"
+        )
+    if not memoize:
+        raise AnalysisError(
+            "checkpointing requires memoize=True (the journal replays "
+            "verdicts through the fault-pattern cache)"
+        )
+    if cache is None:
+        cache = FaultPatternCache()
+    if resume and store.exists():
+        store.check_fingerprint(fingerprint)
+        entries = store.load_verdicts()
+        for pattern, verdict in entries:
+            cache.store(pattern, verdict)
+        stats.resumed_verdicts = len(entries)
+    else:
+        store.clear()
+        store.write_header(fingerprint)
+    return store, cache
+
+
 def run_monte_carlo(gadget: Gadget,
                     initial_state: SparseState,
                     evaluator: Callable[[SparseState], bool],
@@ -424,7 +760,10 @@ def run_monte_carlo(gadget: Gadget,
                     progress: Optional[Callable[[ProgressEvent], None]]
                     = None,
                     invariant: Optional[Callable[[SparseState], None]]
-                    = None):
+                    = None,
+                    checkpoint=None,
+                    resume: bool = True,
+                    runtime: Optional[RuntimePolicy] = None):
     """Engine-scheduled equivalent of ``gadget_monte_carlo``.
 
     Returns a :class:`~repro.analysis.montecarlo.GadgetMonteCarloResult`
@@ -436,6 +775,16 @@ def run_monte_carlo(gadget: Gadget,
     final state is passed to the callable, which raises
     :class:`~repro.exceptions.VerificationError` on violation (see
     :mod:`repro.verify` for ready-made invariants).
+
+    ``checkpoint`` (a path or :class:`~repro.runtime.CheckpointStore`)
+    journals completed evaluation chunks; with ``resume=True`` (the
+    default) an existing journal with a matching fingerprint is
+    replayed first, so a killed run picks up where it stopped and
+    finishes bit-identically to an uninterrupted one.  A mismatched
+    or corrupted journal raises
+    :class:`~repro.exceptions.CheckpointError` rather than risk a
+    wrong number.  ``runtime`` tunes supervision/fallback (default:
+    production :class:`~repro.runtime.RuntimePolicy`).
     """
     from repro.analysis.montecarlo import (
         GadgetMonteCarloResult,
@@ -446,12 +795,24 @@ def run_monte_carlo(gadget: Gadget,
     if locations is None:
         locations = _default_locations(gadget)
     locations = list(locations)
-    trials = int(trials)
-    if trials < 0:
-        raise AnalysisError("trials must be non-negative")
-    workers = max(1, int(workers))
-    chunk_size = max(1, int(chunk_size))
+    trials = _coerce_count(trials, "trials")
+    workers = _coerce_workers(workers)
+    chunk_size = _coerce_chunk_size(chunk_size)
     stats = EngineStats(trials=trials, workers=1)
+    fingerprint = {
+        "workload": "monte_carlo",
+        "gadget": gadget.name,
+        "locations": len(locations),
+        "seed": seed,
+        "trials": trials,
+        "chunk_size": chunk_size,
+        "p_gate": float(noise.p_gate),
+        "p_input": float(noise.p_input),
+        "p_delay": float(noise.p_delay),
+        "channel": noise.channel,
+    }
+    store, cache = _open_journal(checkpoint, resume, seed, memoize,
+                                 cache, fingerprint, stats)
     probs, choices, after_ops = _location_setup(noise, gadget, locations)
 
     histogram: Dict[int, int] = {}
@@ -485,12 +846,29 @@ def run_monte_carlo(gadget: Gadget,
                 elapsed_seconds=time.perf_counter() - sample_start,
             ))
     stats.sample_seconds = time.perf_counter() - sample_start
+    if store is not None:
+        store.write_state("cursor", {
+            "sample_chunks_done": len(chunks),
+            "distinct_patterns": len(pattern_counts),
+        })
 
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant)
-    verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
-                                    cache, workers, chunk_size, stats,
-                                    progress)
+                           invariant=invariant, policy=runtime)
+    try:
+        verdict_map = _resolve_verdicts(context, pattern_counts,
+                                        memoize, cache, workers,
+                                        chunk_size, stats, progress,
+                                        journal=store)
+    except KeyboardInterrupt:
+        # Completed chunks are already journaled; mark the interrupt
+        # so the resume path (and the operator) can see it was clean.
+        if store is not None:
+            store.write_state("cursor", {
+                "sample_chunks_done": len(chunks),
+                "distinct_patterns": len(pattern_counts),
+                "interrupted": True,
+            })
+        raise
 
     failures = 0
     failures_by_count: Dict[int, int] = {}
@@ -501,6 +879,12 @@ def run_monte_carlo(gadget: Gadget,
             failures_by_count[count] = \
                 failures_by_count.get(count, 0) + multiplicity
     stats.total_seconds = time.perf_counter() - start
+    if store is not None:
+        store.finalize({
+            "trials": trials,
+            "failures": failures,
+            "distinct_patterns": len(pattern_counts),
+        })
     return GadgetMonteCarloResult(
         p=noise.p_gate,
         trials=trials,
@@ -526,10 +910,14 @@ def run_malignant_pairs(gadget: Gadget,
                         progress: Optional[Callable[[ProgressEvent], None]]
                         = None,
                         invariant: Optional[
-                            Callable[[SparseState], None]] = None):
+                            Callable[[SparseState], None]] = None,
+                        checkpoint=None,
+                        resume: bool = True,
+                        runtime: Optional[RuntimePolicy] = None):
     """Engine-scheduled equivalent of ``sample_malignant_pairs``.
 
-    ``invariant`` behaves as in :func:`run_monte_carlo`.
+    ``invariant``, ``checkpoint``/``resume`` and ``runtime`` behave as
+    in :func:`run_monte_carlo`.
     """
     from repro.analysis.montecarlo import (
         MalignantPairSample,
@@ -540,16 +928,25 @@ def run_malignant_pairs(gadget: Gadget,
     if locations is None:
         locations = _default_locations(gadget)
     locations = list(locations)
-    samples = int(samples)
-    if samples < 0:
-        raise AnalysisError("samples must be non-negative")
+    samples = _coerce_count(samples, "samples")
     if samples > 0 and len(locations) < 2:
         raise AnalysisError(
             "malignant-pair sampling needs at least two fault locations"
         )
-    workers = max(1, int(workers))
-    chunk_size = max(1, int(chunk_size))
+    workers = _coerce_workers(workers)
+    chunk_size = _coerce_chunk_size(chunk_size)
     stats = EngineStats(trials=samples, workers=1)
+    fingerprint = {
+        "workload": "malignant_pairs",
+        "gadget": gadget.name,
+        "locations": len(locations),
+        "seed": seed,
+        "samples": samples,
+        "chunk_size": chunk_size,
+        "channel": channel,
+    }
+    store, cache = _open_journal(checkpoint, resume, seed, memoize,
+                                 cache, fingerprint, stats)
     model = NoiseModel.uniform(1.0, channel=channel)
     _, choices, after_ops = _location_setup(model, gadget, locations)
 
@@ -581,16 +978,33 @@ def run_malignant_pairs(gadget: Gadget,
                 elapsed_seconds=time.perf_counter() - sample_start,
             ))
     stats.sample_seconds = time.perf_counter() - sample_start
+    if store is not None:
+        store.write_state("cursor", {
+            "sample_chunks_done": len(chunks),
+            "distinct_patterns": len(pattern_counts),
+        })
 
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant)
-    verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
-                                    cache, workers, chunk_size, stats,
-                                    progress)
+                           invariant=invariant, policy=runtime)
+    try:
+        verdict_map = _resolve_verdicts(context, pattern_counts,
+                                        memoize, cache, workers,
+                                        chunk_size, stats, progress,
+                                        journal=store)
+    except KeyboardInterrupt:
+        if store is not None:
+            store.write_state("cursor", {
+                "sample_chunks_done": len(chunks),
+                "distinct_patterns": len(pattern_counts),
+                "interrupted": True,
+            })
+        raise
     malignant = sum(multiplicity
                     for pattern, multiplicity in pattern_counts.items()
                     if not verdict_map[pattern])
     stats.total_seconds = time.perf_counter() - start
+    if store is not None:
+        store.finalize({"samples": samples, "malignant": malignant})
     return MalignantPairSample(
         samples=samples,
         malignant=malignant,
@@ -611,13 +1025,20 @@ def run_exhaustive(gadget: Gadget,
                    progress: Optional[Callable[[ProgressEvent], None]]
                    = None,
                    invariant: Optional[Callable[[SparseState], None]]
-                   = None) -> ExhaustiveSurvey:
+                   = None,
+                   checkpoint=None,
+                   resume: bool = True,
+                   runtime: Optional[RuntimePolicy] = None
+                   ) -> ExhaustiveSurvey:
     """Engine-scheduled exhaustive single-fault certification.
 
     The failure list preserves the serial (location, pauli) order, so
     it is interchangeable with ``exhaustive_single_faults_sparse``.
     Memoization deduplicates coincident faults (e.g. a delay fault
     anchored at the same ``after_op`` as an equal gate-location Pauli).
+    ``checkpoint``/``resume`` and ``runtime`` behave as in
+    :func:`run_monte_carlo`; the enumeration is deterministic, so no
+    seed is required to resume.
     """
     from repro.analysis.montecarlo import _default_locations
 
@@ -625,8 +1046,8 @@ def run_exhaustive(gadget: Gadget,
     if locations is None:
         locations = _default_locations(gadget)
     locations = list(locations)
-    workers = max(1, int(workers))
-    chunk_size = max(1, int(chunk_size))
+    workers = _coerce_workers(workers)
+    chunk_size = _coerce_chunk_size(chunk_size)
     model = NoiseModel.uniform(1.0, channel=channel)
 
     items: List[Tuple[FaultLocation, PauliString, FaultPattern]] = []
@@ -635,25 +1056,36 @@ def run_exhaustive(gadget: Gadget,
             items.append((location, pauli,
                           canonical_pattern([(pauli, location.after_op)])))
     stats = EngineStats(trials=len(items), workers=1, chunks=0)
+    fingerprint = {
+        "workload": "exhaustive",
+        "gadget": gadget.name,
+        "locations": len(locations),
+        "items": len(items),
+        "chunk_size": chunk_size,
+        "channel": channel,
+    }
+    store, cache = _open_journal(checkpoint, resume, None, memoize,
+                                 cache, fingerprint, stats,
+                                 needs_seed=False)
     pattern_counts: Dict[FaultPattern, int] = {}
     for _, _, key in items:
         pattern_counts[key] = pattern_counts.get(key, 0) + 1
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant)
-    verdict_map = _resolve_verdicts(context, pattern_counts, memoize,
-                                    cache, workers, chunk_size, stats,
-                                    progress)
+                           invariant=invariant, policy=runtime)
+    try:
+        verdict_map = _resolve_verdicts(context, pattern_counts,
+                                        memoize, cache, workers,
+                                        chunk_size, stats, progress,
+                                        journal=store)
+    except KeyboardInterrupt:
+        if store is not None:
+            store.write_state("cursor", {"interrupted": True})
+        raise
     failures = [(location, pauli) for location, pauli, key in items
                 if not verdict_map[key]]
     stats.total_seconds = time.perf_counter() - start
+    if store is not None:
+        store.finalize({"checked": len(items),
+                        "failures": len(failures)})
     return ExhaustiveSurvey(failures=failures, checked=len(items),
                             stats=stats)
-
-
-def resolve_workers(parallel: bool, workers: Optional[int]) -> int:
-    """Shared resolution of the public ``parallel=``/``workers=`` knobs."""
-    if workers is not None:
-        return max(1, int(workers))
-    if parallel:
-        return max(1, os.cpu_count() or 1)
-    return 1

@@ -86,10 +86,12 @@ class GadgetMonteCarloResult:
 
 
 def _engine_requested(parallel: bool, workers, chunk_size, memoize,
-                      cache, progress) -> bool:
+                      cache, progress, checkpoint=None,
+                      runtime=None) -> bool:
     return (parallel or workers is not None or chunk_size is not None
             or memoize is not None or cache is not None
-            or progress is not None)
+            or progress is not None or checkpoint is not None
+            or runtime is not None)
 
 
 def gadget_monte_carlo(gadget: Gadget,
@@ -107,6 +109,9 @@ def gadget_monte_carlo(gadget: Gadget,
                        cache: Optional["FaultPatternCache"] = None,
                        progress: Optional[
                            Callable[["ProgressEvent"], None]] = None,
+                       checkpoint=None,
+                       resume: bool = True,
+                       runtime=None,
                        ) -> GadgetMonteCarloResult:
     """Estimate a gadget's failure rate under stochastic faults.
 
@@ -135,9 +140,16 @@ def gadget_monte_carlo(gadget: Gadget,
             FaultPatternCache` to persist verdicts across calls.
         progress: per-chunk :class:`~repro.analysis.engine.
             ProgressEvent` callback (engine path).
+        checkpoint: run directory (or
+            :class:`~repro.runtime.CheckpointStore`) journaling
+            completed evaluation chunks; selects the engine path.
+        resume: replay a matching existing journal before evaluating
+            (default); ``False`` starts the journal over.
+        runtime: a :class:`~repro.runtime.RuntimePolicy` tuning
+            supervision/fallback; selects the engine path.
     """
     if _engine_requested(parallel, workers, chunk_size, memoize, cache,
-                         progress):
+                         progress, checkpoint, runtime):
         from repro.analysis import engine
 
         return engine.run_monte_carlo(
@@ -146,7 +158,8 @@ def gadget_monte_carlo(gadget: Gadget,
             workers=engine.resolve_workers(parallel, workers),
             chunk_size=chunk_size or engine.DEFAULT_CHUNK_SIZE,
             memoize=True if memoize is None else memoize,
-            cache=cache, progress=progress,
+            cache=cache, progress=progress, checkpoint=checkpoint,
+            resume=resume, runtime=runtime,
         )
     rng = np.random.default_rng(seed)
     if locations is None:
@@ -201,6 +214,9 @@ def exhaustive_single_faults_sparse(
         memoize: Optional[bool] = None,
         cache: Optional["FaultPatternCache"] = None,
         progress: Optional[Callable[["ProgressEvent"], None]] = None,
+        checkpoint=None,
+        resume: bool = True,
+        runtime=None,
 ) -> List[Tuple[FaultLocation, object]]:
     """Run every single-location Pauli fault through the simulator.
 
@@ -217,7 +233,7 @@ def exhaustive_single_faults_sparse(
     the :class:`~repro.analysis.engine.EngineStats`.
     """
     if _engine_requested(parallel, workers, chunk_size, memoize, cache,
-                         progress):
+                         progress, checkpoint, runtime):
         from repro.analysis import engine
 
         survey = engine.run_exhaustive(
@@ -226,7 +242,8 @@ def exhaustive_single_faults_sparse(
             workers=engine.resolve_workers(parallel, workers),
             chunk_size=chunk_size or engine.DEFAULT_CHUNK_SIZE,
             memoize=True if memoize is None else memoize,
-            cache=cache, progress=progress,
+            cache=cache, progress=progress, checkpoint=checkpoint,
+            resume=resume, runtime=runtime,
         )
         return survey.failures
     if locations is None:
@@ -295,6 +312,9 @@ def sample_malignant_pairs(gadget: Gadget,
                            cache: Optional["FaultPatternCache"] = None,
                            progress: Optional[
                                Callable[["ProgressEvent"], None]] = None,
+                           checkpoint=None,
+                           resume: bool = True,
+                           runtime=None,
                            ) -> MalignantPairSample:
     """Monte-Carlo estimate of the malignant-location-pair count.
 
@@ -305,7 +325,7 @@ def sample_malignant_pairs(gadget: Gadget,
     :func:`gadget_monte_carlo`.
     """
     if _engine_requested(parallel, workers, chunk_size, memoize, cache,
-                         progress):
+                         progress, checkpoint, runtime):
         from repro.analysis import engine
 
         return engine.run_malignant_pairs(
@@ -314,7 +334,8 @@ def sample_malignant_pairs(gadget: Gadget,
             workers=engine.resolve_workers(parallel, workers),
             chunk_size=chunk_size or engine.DEFAULT_CHUNK_SIZE,
             memoize=True if memoize is None else memoize,
-            cache=cache, progress=progress,
+            cache=cache, progress=progress, checkpoint=checkpoint,
+            resume=resume, runtime=runtime,
         )
     rng = np.random.default_rng(seed)
     if locations is None:
@@ -340,6 +361,39 @@ def sample_malignant_pairs(gadget: Gadget,
                                num_locations=count)
 
 
+def _point_payload(result: GadgetMonteCarloResult) -> Dict[str, object]:
+    """JSON form of one sweep point (engine_stats excluded — it is
+    instrumentation, outside result equality)."""
+    return {
+        "p": result.p,
+        "trials": result.trials,
+        "failures": result.failures,
+        "failures_by_fault_count": {
+            str(k): v for k, v in result.failures_by_fault_count.items()
+        },
+        "fault_count_histogram": {
+            str(k): v for k, v in result.fault_count_histogram.items()
+        },
+    }
+
+
+def _point_from_payload(payload: Dict[str, object]
+                        ) -> GadgetMonteCarloResult:
+    return GadgetMonteCarloResult(
+        p=float(payload["p"]),
+        trials=int(payload["trials"]),
+        failures=int(payload["failures"]),
+        failures_by_fault_count={
+            int(k): int(v)
+            for k, v in payload["failures_by_fault_count"].items()
+        },
+        fault_count_histogram={
+            int(k): int(v)
+            for k, v in payload["fault_count_histogram"].items()
+        },
+    )
+
+
 def sweep_p(gadget: Gadget,
             initial_state: SparseState,
             evaluator: Callable[[SparseState], bool],
@@ -355,6 +409,9 @@ def sweep_p(gadget: Gadget,
             memoize: Optional[bool] = None,
             cache: Optional["FaultPatternCache"] = None,
             progress: Optional[Callable[["ProgressEvent"], None]] = None,
+            checkpoint=None,
+            resume: bool = True,
+            runtime=None,
             ) -> List[GadgetMonteCarloResult]:
     """Failure-rate series over a range of physical error rates.
 
@@ -370,9 +427,21 @@ def sweep_p(gadget: Gadget,
     single :class:`~repro.analysis.engine.FaultPatternCache` is shared
     across all points (verdicts depend only on the fault pattern, not
     on p), so later points mostly reuse earlier simulations.
+
+    ``checkpoint`` makes the sweep resumable at two granularities:
+    completed points are journaled whole (``points`` records under the
+    run directory) and the point in flight checkpoints its evaluation
+    chunks in a ``point-NNN`` subdirectory.  Re-running the same call
+    after a crash (``resume=True``, the default) replays completed
+    points verbatim and finishes the interrupted one, yielding the
+    same series an uninterrupted run produces.  Resumed points carry
+    ``engine_stats=None`` (the instrumentation died with the crashed
+    process; the statistics did not).  Requires a seed and memoization,
+    like the per-run journals.
     """
     engine_requested = _engine_requested(parallel, workers, chunk_size,
-                                         memoize, cache, progress)
+                                         memoize, cache, progress,
+                                         checkpoint, runtime)
     if locations is None:
         locations = _default_locations(gadget)
     if engine_requested and cache is None and \
@@ -380,21 +449,72 @@ def sweep_p(gadget: Gadget,
         from repro.analysis.engine import FaultPatternCache
 
         cache = FaultPatternCache()
+
+    store = None
+    done_points: Dict[int, GadgetMonteCarloResult] = {}
+    if checkpoint is not None:
+        from repro.analysis.engine import DEFAULT_CHUNK_SIZE
+        from repro.exceptions import AnalysisError
+        from repro.runtime.checkpoint import as_store
+
+        store = as_store(checkpoint)
+        if seed is None:
+            raise AnalysisError(
+                "sweep_p checkpointing requires an explicit seed: an "
+                "unseeded sweep cannot be resumed bit-identically"
+            )
+        if memoize is not None and not memoize:
+            raise AnalysisError(
+                "sweep_p checkpointing requires memoize=True"
+            )
+        fingerprint = {
+            "workload": "sweep_p",
+            "gadget": gadget.name,
+            "locations": len(list(locations)),
+            "p_values": [float(p) for p in p_values],
+            "trials": int(trials),
+            "seed": seed,
+            "chunk_size": chunk_size or DEFAULT_CHUNK_SIZE,
+            "channel": channel,
+        }
+        if resume and store.exists():
+            store.check_fingerprint(fingerprint)
+            for record in store.load_records("points"):
+                done_points[int(record["index"])] = \
+                    _point_from_payload(record["result"])
+        else:
+            store.clear()
+            store.write_header(fingerprint)
+
     results: List[GadgetMonteCarloResult] = []
     for index, p in enumerate(p_values):
+        if index in done_points:
+            results.append(done_points[index])
+            continue
         noise = NoiseModel.uniform(p, channel=channel)
         point_seed = None if seed is None else seed + index
         if engine_requested:
-            results.append(gadget_monte_carlo(
+            point_store = store.substore(f"point-{index:03d}") \
+                if store is not None else None
+            result = gadget_monte_carlo(
                 gadget, initial_state, evaluator, noise, trials,
                 locations=locations, seed=point_seed,
                 parallel=parallel, workers=workers,
                 chunk_size=chunk_size, memoize=memoize, cache=cache,
-                progress=progress,
-            ))
+                progress=progress, checkpoint=point_store,
+                resume=resume, runtime=runtime,
+            )
         else:
-            results.append(gadget_monte_carlo(
+            result = gadget_monte_carlo(
                 gadget, initial_state, evaluator, noise, trials,
                 locations=locations, seed=point_seed,
-            ))
+            )
+        if store is not None:
+            store.append_record("points", {
+                "index": index,
+                "result": _point_payload(result),
+            })
+        results.append(result)
+    if store is not None:
+        store.finalize({"points": len(results)})
     return results

@@ -112,6 +112,9 @@ def sampled_threshold_report(gadget: Gadget,
                              chunk_size: Optional[int] = None,
                              memoize: Optional[bool] = None,
                              cache: Optional["FaultPatternCache"] = None,
+                             checkpoint=None,
+                             resume: bool = True,
+                             runtime=None,
                              ) -> ThresholdReport:
     """Exact state-based counterpart of :func:`analyze_gadget`.
 
@@ -123,9 +126,15 @@ def sampled_threshold_report(gadget: Gadget,
     :mod:`repro.analysis.engine` so large gadgets can use a worker
     pool and a shared verdict cache.  ``malignant_pairs`` is the
     rounded sampled estimate M_eff.
+
+    ``checkpoint`` journals the two phases into ``exhaustive`` and
+    ``pairs`` subdirectories of the run directory, so a crashed report
+    resumes mid-phase; ``runtime`` tunes supervision/fallback for
+    both (see :func:`repro.analysis.engine.run_monte_carlo`).
     """
     from repro.analysis import engine
     from repro.analysis.montecarlo import _default_locations
+    from repro.runtime.checkpoint import as_store
 
     if locations is None:
         locations = _default_locations(gadget)
@@ -135,33 +144,29 @@ def sampled_threshold_report(gadget: Gadget,
     resolved_memoize = True if memoize is None else memoize
     if cache is None and resolved_memoize:
         cache = engine.FaultPatternCache()
+    store = as_store(checkpoint)
     survey = engine.run_exhaustive(
         gadget, initial_state, evaluator, locations=locations,
         channel=channel, workers=resolved_workers,
         chunk_size=resolved_chunk, memoize=resolved_memoize,
         cache=cache,
+        checkpoint=store.substore("exhaustive") if store else None,
+        resume=resume, runtime=runtime,
     )
     pair_sample = engine.run_malignant_pairs(
         gadget, initial_state, evaluator, samples,
         locations=locations, seed=seed, channel=channel,
         workers=resolved_workers, chunk_size=resolved_chunk,
         memoize=resolved_memoize, cache=cache,
+        checkpoint=store.substore("pairs") if store else None,
+        resume=resume, runtime=runtime,
     )
     counts = {"input": 0, "gate": 0, "delay": 0}
     for location in locations:
         counts[location.kind] += 1
     counts["total"] = sum(counts.values())
     stats = survey.stats
-    stats.trials += pair_sample.engine_stats.trials
-    stats.requests += pair_sample.engine_stats.requests
-    stats.evaluations += pair_sample.engine_stats.evaluations
-    stats.cache_hits += pair_sample.engine_stats.cache_hits
-    stats.distinct_patterns += pair_sample.engine_stats.distinct_patterns
-    stats.total_seconds += pair_sample.engine_stats.total_seconds
-    stats.eval_seconds += pair_sample.engine_stats.eval_seconds
-    stats.sample_seconds += pair_sample.engine_stats.sample_seconds
-    stats.worker_busy_seconds += \
-        pair_sample.engine_stats.worker_busy_seconds
+    stats.absorb(pair_sample.engine_stats)
     return ThresholdReport(
         gadget_name=gadget.name,
         location_counts=counts,

@@ -63,6 +63,24 @@ class AnalysisError(ReproError):
     gate in strict mode)."""
 
 
+class RuntimeIntegrityError(ReproError):
+    """Raised by the resilient execution runtime when it cannot
+    guarantee a correct result.
+
+    The contract of :mod:`repro.runtime` is "a correct number or a
+    typed error, never a silently wrong number": when a checkpoint is
+    corrupted, a resumed run's fingerprint does not match the journal,
+    or a work chunk keeps failing after supervised retries *and* the
+    in-parent quarantine evaluation, the run terminates with this
+    error instead of returning partial or poisoned statistics."""
+
+
+class CheckpointError(RuntimeIntegrityError):
+    """Raised when a checkpoint journal is unreadable, truncated,
+    fails its integrity checksum, or records a different run than the
+    one being resumed (fingerprint mismatch)."""
+
+
 class VerificationError(ReproError):
     """Raised by the differential-verification oracle when two
     simulation backends disagree on the same circuit, when a

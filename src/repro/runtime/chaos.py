@@ -1,0 +1,205 @@
+"""Deterministic infrastructure-fault injection.
+
+The analysis engine claims it survives hung workers, killed workers,
+out-of-memory simulator runs, transient invariant failures and
+corrupted checkpoints.  Claims about recovery are worthless untested
+(the paper makes the same point about quantum recovery circuits), so
+this module makes every one of those faults *injectable on demand*:
+
+* a :class:`ChaosPlan` lists :class:`ChaosEvent`\\ s keyed by
+  evaluation-chunk index and attempt number.  Process-level events
+  (``kill``, ``hang``) fire inside pool workers only; exception-level
+  events (``oom``, ``simulation_error``, ``verification_error``) fire
+  wherever the evaluation runs, including the in-parent quarantine
+  path when ``in_parent=True``.
+* checkpoint-corruption helpers (:func:`truncate_checkpoint_record`,
+  :func:`garble_checkpoint_record`, :func:`poison_checkpoint_verdict`)
+  damage journal files the way real crashes and bit-rot do.
+
+Everything is deterministic: events fire on exact (chunk, attempt)
+coordinates, never on dice rolls, so the certification suite in
+``tests/runtime`` replays each scenario exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError, VerificationError
+from repro.runtime.checkpoint import CheckpointStore
+
+#: Event kinds that act on the worker process itself.
+PROCESS_KINDS = ("kill", "hang")
+#: Event kinds that act by raising from the evaluation.
+EXCEPTION_KINDS = ("oom", "simulation_error", "verification_error")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected fault.
+
+    Args:
+        kind: one of ``kill`` (SIGKILL the worker mid-chunk), ``hang``
+            (sleep past the supervisor deadline), ``oom`` (raise
+            ``MemoryError`` from the primary backend),
+            ``simulation_error`` (raise
+            :class:`~repro.exceptions.SimulationError`), or
+            ``verification_error`` (make the invariant hook fail).
+        chunk_index: the evaluation chunk to strike.
+        attempts: attempt numbers on which to fire; default only the
+            first attempt, so supervised retries recover.  ``None``
+            fires on every attempt (the quarantine-path stressor).
+        in_parent: let exception events fire during in-parent
+            (serial or quarantine) evaluation too.  Process events
+            never fire in the parent — chaos must not kill the test.
+    """
+
+    kind: str
+    chunk_index: int
+    attempts: Optional[Tuple[int, ...]] = (0,)
+    in_parent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROCESS_KINDS + EXCEPTION_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+
+    def matches(self, chunk_index: int, attempt: int) -> bool:
+        if chunk_index != self.chunk_index:
+            return False
+        return self.attempts is None or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic set of infrastructure faults to inject.
+
+    The plan is carried into fork-pool workers by inheritance (it
+    lives on the evaluation context captured at fork time), so no
+    pickling or side-channel is involved.
+    """
+
+    events: Tuple[ChaosEvent, ...] = ()
+    hang_seconds: float = 3600.0
+
+    @classmethod
+    def single(cls, kind: str, chunk_index: int,
+               attempts: Optional[Sequence[int]] = (0,),
+               in_parent: bool = False,
+               hang_seconds: float = 3600.0) -> "ChaosPlan":
+        return cls(events=(ChaosEvent(
+            kind, chunk_index,
+            None if attempts is None else tuple(attempts),
+            in_parent,
+        ),), hang_seconds=hang_seconds)
+
+    def _active(self, kinds: Sequence[str], chunk_index: int,
+                attempt: int, in_worker: bool):
+        for event in self.events:
+            if event.kind not in kinds:
+                continue
+            if not event.matches(chunk_index, attempt):
+                continue
+            if not in_worker and not event.in_parent:
+                continue
+            yield event
+
+    def on_chunk_start(self, chunk_index: int, attempt: int,
+                       in_worker: bool) -> None:
+        """Process-level chaos, called as a worker picks up a chunk."""
+        for event in self._active(PROCESS_KINDS, chunk_index, attempt,
+                                  in_worker):
+            if not in_worker:  # pragma: no cover - guarded upstream
+                continue
+            if event.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif event.kind == "hang":
+                time.sleep(self.hang_seconds)
+
+    def primary_backend_error(self, chunk_index: int, attempt: int,
+                              in_worker: bool
+                              ) -> Optional[BaseException]:
+        """Exception to raise instead of running the primary backend."""
+        for event in self._active(("oom", "simulation_error"),
+                                  chunk_index, attempt, in_worker):
+            if event.kind == "oom":
+                return MemoryError(
+                    f"chaos: simulated OOM on chunk {chunk_index} "
+                    f"attempt {attempt}"
+                )
+            return SimulationError(
+                f"chaos: simulated backend failure on chunk "
+                f"{chunk_index} attempt {attempt}"
+            )
+        return None
+
+    def invariant_error(self, chunk_index: int, attempt: int,
+                        invariant_attempt: int, in_worker: bool
+                        ) -> Optional[VerificationError]:
+        """Transient invariant failure (fires on the first invariant
+        attempt only, so retry-once recovers)."""
+        if invariant_attempt > 0:
+            return None
+        for _ in self._active(("verification_error",), chunk_index,
+                              attempt, in_worker):
+            return VerificationError(
+                f"chaos: transient invariant failure on chunk "
+                f"{chunk_index} attempt {attempt}"
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint-corruption helpers (used by the certification suite)
+# ---------------------------------------------------------------------------
+
+def _pick_record(store: CheckpointStore, kind: str) -> str:
+    files = store._record_files(kind)
+    if not files:
+        raise ValueError(
+            f"no {kind!r} records to corrupt in {store.directory!r}"
+        )
+    return files[0][1]
+
+
+def truncate_checkpoint_record(store: CheckpointStore,
+                               kind: str = "verdicts",
+                               keep_bytes: int = 20) -> str:
+    """Cut a journal record short, as a crash mid-write would."""
+    path = _pick_record(store, kind)
+    with open(path, "r+", encoding="utf-8") as handle:
+        handle.truncate(keep_bytes)
+    return path
+
+
+def garble_checkpoint_record(store: CheckpointStore,
+                             kind: str = "verdicts") -> str:
+    """Overwrite a journal record with syntactically broken JSON."""
+    path = _pick_record(store, kind)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json!")
+    return path
+
+
+def poison_checkpoint_verdict(store: CheckpointStore) -> str:
+    """Flip one journaled verdict without re-signing the record.
+
+    This models silent bit-rot (or a buggy writer) inside the verdict
+    cache: the JSON still parses, but the payload no longer matches
+    its checksum, so resuming from it must fail the integrity check
+    rather than replay the poisoned verdict.
+    """
+    path = _pick_record(store, "verdicts")
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    entries = record.get("entries", [])
+    if not entries:
+        raise ValueError(f"no verdict entries to poison in {path!r}")
+    entries[0][1] = not entries[0][1]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle)
+    return path

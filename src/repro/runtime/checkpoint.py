@@ -1,0 +1,317 @@
+"""Crash-safe checkpoint journals for long-running sweeps.
+
+A :class:`CheckpointStore` is a directory of small JSON records that
+together let an interrupted campaign resume bit-identically:
+
+* ``header.json`` — the run *fingerprint* (seed, trial counts, chunk
+  size, workload name, ...).  A resume whose fingerprint differs from
+  the journal's is refused with :class:`~repro.exceptions.
+  CheckpointError` — replaying verdicts into a different run would
+  silently corrupt its statistics.
+* ``<kind>-NNNNNN.json`` — append-only record batches (completed
+  evaluation-chunk verdicts, differential-sweep results, ...).
+* named state files (``cursor.json``, ``final.json``) — last-writer-
+  wins progress markers.
+
+Every file is written atomically (write to a ``.tmp`` sibling, then
+``os.replace``) and carries a SHA-256 checksum of its payload, so a
+crash mid-write leaves either the old record or the new one — never a
+half-written file that parses to wrong data.  A record that is
+unreadable, truncated or checksum-poisoned raises
+:class:`~repro.exceptions.CheckpointError` (a
+:class:`~repro.exceptions.RuntimeIntegrityError`) at load time: the
+journal's answer is a correct resume or a typed error, never a wrong
+number.
+
+Fault patterns — the engine's cache keys — are serialised structurally
+(qubit count, X/Z bit-vectors, phase, injection point) rather than by
+pickle, so journals are portable and diffable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import tempfile
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.pauli import PauliString
+from repro.exceptions import CheckpointError
+
+#: Default root for run directories (``.repro_runs/<run_id>/``).
+DEFAULT_ROOT = ".repro_runs"
+
+#: Journal format version; bumped on incompatible layout changes.
+JOURNAL_VERSION = 1
+
+_RECORD_NAME = re.compile(r"^([a-z_]+)-(\d{6})\.json$")
+
+
+# ---------------------------------------------------------------------------
+# Fault-pattern serialisation
+# ---------------------------------------------------------------------------
+
+def serialize_pattern(pattern: Sequence[Tuple[PauliString, int]]
+                      ) -> List[List[Any]]:
+    """Structural JSON form of a canonical fault pattern."""
+    return [
+        [pauli.num_qubits, list(pauli.x_bits), list(pauli.z_bits),
+         pauli.phase, int(after_op)]
+        for pauli, after_op in pattern
+    ]
+
+
+def deserialize_pattern(data: Sequence[Sequence[Any]]
+                        ) -> Tuple[Tuple[PauliString, int], ...]:
+    """Inverse of :func:`serialize_pattern`."""
+    faults = []
+    for item in data:
+        try:
+            num_qubits, x_bits, z_bits, phase, after_op = item
+            pauli = PauliString(int(num_qubits),
+                                tuple(int(b) for b in x_bits),
+                                tuple(int(b) for b in z_bits),
+                                int(phase))
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed fault-pattern record: {item!r}"
+            ) from exc
+        faults.append((pauli, int(after_op)))
+    return tuple(faults)
+
+
+# ---------------------------------------------------------------------------
+# Atomic JSON records
+# ---------------------------------------------------------------------------
+
+def _payload_digest(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _write_atomic_json(path: str, payload: Dict[str, Any]) -> None:
+    record = dict(payload)
+    record["sha256"] = _payload_digest(payload)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp",
+        dir=directory,
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _read_checked_json(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint record {path!r} is unreadable or truncated: "
+            f"{exc}"
+        ) from exc
+    if not isinstance(record, dict) or "sha256" not in record:
+        raise CheckpointError(
+            f"checkpoint record {path!r} is missing its checksum"
+        )
+    stored = record.pop("sha256")
+    if stored != _payload_digest(record):
+        raise CheckpointError(
+            f"checkpoint record {path!r} failed its integrity check "
+            "(truncated, corrupted or poisoned)"
+        )
+    return record
+
+
+class CheckpointStore:
+    """One run's crash-safe journal directory.
+
+    The store is deliberately dumb: it knows about atomic JSON
+    records, checksums and fingerprints, not about what the engine or
+    the differential sweep put in them.  Workload-specific record
+    kinds (``verdicts``, ``points``, ``circuits``) are namespaced by
+    the caller.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.fspath(directory)
+
+    @classmethod
+    def open_run(cls, run_id: str,
+                 root: Optional[str] = None) -> "CheckpointStore":
+        """The conventional ``<root>/<run_id>`` layout."""
+        return cls(os.path.join(root or DEFAULT_ROOT, run_id))
+
+    def substore(self, name: str) -> "CheckpointStore":
+        """A nested store (e.g. one per sweep point)."""
+        return CheckpointStore(os.path.join(self.directory, name))
+
+    # -- lifecycle ---------------------------------------------------
+
+    def exists(self) -> bool:
+        """Whether this directory already holds a journaled run."""
+        return os.path.isfile(self._path("header.json"))
+
+    def clear(self) -> None:
+        """Wipe the journal for a fresh (non-resumed) run."""
+        if os.path.isdir(self.directory):
+            shutil.rmtree(self.directory)
+
+    def _ensure_dir(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    # -- header / fingerprint ---------------------------------------
+
+    def write_header(self, fingerprint: Dict[str, Any]) -> None:
+        self._ensure_dir()
+        _write_atomic_json(self._path("header.json"), {
+            "version": JOURNAL_VERSION,
+            "fingerprint": fingerprint,
+        })
+
+    def load_header(self) -> Optional[Dict[str, Any]]:
+        if not self.exists():
+            return None
+        record = _read_checked_json(self._path("header.json"))
+        if record.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.directory!r} uses journal version "
+                f"{record.get('version')!r}; this build reads "
+                f"{JOURNAL_VERSION}"
+            )
+        return record
+
+    def check_fingerprint(self, fingerprint: Dict[str, Any]) -> None:
+        """Refuse to resume a journal recorded by a different run."""
+        header = self.load_header()
+        if header is None:
+            raise CheckpointError(
+                f"checkpoint {self.directory!r} has no header to "
+                "resume from"
+            )
+        recorded = header.get("fingerprint")
+        if recorded != fingerprint:
+            mismatched = sorted(
+                key for key in set(recorded or {}) | set(fingerprint)
+                if (recorded or {}).get(key) != fingerprint.get(key)
+            )
+            raise CheckpointError(
+                f"checkpoint {self.directory!r} records a different "
+                f"run (mismatched fields: {', '.join(mismatched)}); "
+                "refusing to splice its verdicts into this one"
+            )
+
+    # -- append-only record batches ---------------------------------
+
+    def _record_files(self, kind: str) -> List[Tuple[int, str]]:
+        if not os.path.isdir(self.directory):
+            return []
+        found = []
+        for name in os.listdir(self.directory):
+            match = _RECORD_NAME.match(name)
+            if match and match.group(1) == kind:
+                found.append((int(match.group(2)), self._path(name)))
+        return sorted(found)
+
+    def append_record(self, kind: str, payload: Dict[str, Any]) -> int:
+        """Journal one batch; returns its sequence number."""
+        self._ensure_dir()
+        existing = self._record_files(kind)
+        sequence = existing[-1][0] + 1 if existing else 0
+        record = dict(payload)
+        record["kind"] = kind
+        record["sequence"] = sequence
+        _write_atomic_json(self._path(f"{kind}-{sequence:06d}.json"),
+                           record)
+        return sequence
+
+    def load_records(self, kind: str) -> List[Dict[str, Any]]:
+        """All batches of ``kind`` in append order (checksum-verified)."""
+        records = []
+        for sequence, path in self._record_files(kind):
+            record = _read_checked_json(path)
+            if record.get("sequence") != sequence:
+                raise CheckpointError(
+                    f"checkpoint record {path!r} carries sequence "
+                    f"{record.get('sequence')!r}, expected {sequence}"
+                )
+            records.append(record)
+        return records
+
+    # -- named state files ------------------------------------------
+
+    def write_state(self, name: str, payload: Dict[str, Any]) -> None:
+        self._ensure_dir()
+        _write_atomic_json(self._path(f"{name}.json"), dict(payload))
+
+    def load_state(self, name: str) -> Optional[Dict[str, Any]]:
+        path = self._path(f"{name}.json")
+        if not os.path.isfile(path):
+            return None
+        return _read_checked_json(path)
+
+    # -- engine verdict journal -------------------------------------
+
+    def append_verdicts(self,
+                        entries: Iterable[
+                            Tuple[Sequence[Tuple[PauliString, int]],
+                                  bool]]) -> None:
+        """Journal one evaluation chunk's (pattern, verdict) pairs."""
+        serialised = [[serialize_pattern(pattern), bool(verdict)]
+                      for pattern, verdict in entries]
+        if serialised:
+            self.append_record("verdicts", {"entries": serialised})
+
+    def load_verdicts(self) -> List[Tuple[Tuple[Tuple[PauliString, int],
+                                                ...], bool]]:
+        """Every journaled (pattern, verdict) pair, in append order."""
+        entries = []
+        for record in self.load_records("verdicts"):
+            for item in record.get("entries", []):
+                try:
+                    pattern_data, verdict = item
+                except (TypeError, ValueError) as exc:
+                    raise CheckpointError(
+                        f"malformed verdict entry {item!r} in "
+                        f"{self.directory!r}"
+                    ) from exc
+                entries.append((deserialize_pattern(pattern_data),
+                                bool(verdict)))
+        return entries
+
+    # -- completion marker ------------------------------------------
+
+    def finalize(self, summary: Dict[str, Any]) -> None:
+        self.write_state("final", {"complete": True,
+                                   "summary": summary})
+
+    def load_final(self) -> Optional[Dict[str, Any]]:
+        return self.load_state("final")
+
+
+def as_store(checkpoint) -> Optional[CheckpointStore]:
+    """Coerce the public ``checkpoint=`` argument to a store.
+
+    Accepts ``None``, a :class:`CheckpointStore`, or a path-like
+    naming the run directory.
+    """
+    if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(os.fspath(checkpoint))

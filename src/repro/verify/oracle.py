@@ -179,6 +179,39 @@ def circuit_seed_for(base_seed: int, index: int) -> int:
     return int(base_seed * 1_000_003 + index)
 
 
+def _divergence_payload(divergence: Divergence) -> dict:
+    """JSON form of a divergence for the sweep journal."""
+    from repro.verify.reporting import dump_circuit as dump
+
+    return {
+        "backend_a": divergence.backend_a,
+        "backend_b": divergence.backend_b,
+        "discrepancy": float(divergence.discrepancy),
+        "family": divergence.family,
+        "seed": divergence.seed,
+        "detail": divergence.detail,
+        "circuit": dump(divergence.circuit),
+        "shrunk": (dump(divergence.shrunk)
+                   if divergence.shrunk is not None else None),
+    }
+
+
+def _divergence_from_payload(payload: dict) -> Divergence:
+    from repro.verify.reporting import parse_dump
+
+    return Divergence(
+        backend_a=payload["backend_a"],
+        backend_b=payload["backend_b"],
+        discrepancy=float(payload["discrepancy"]),
+        circuit=parse_dump(payload["circuit"]),
+        family=payload.get("family"),
+        seed=payload.get("seed"),
+        shrunk=(parse_dump(payload["shrunk"])
+                if payload.get("shrunk") else None),
+        detail=payload.get("detail", ""),
+    )
+
+
 def differential_sweep(num_circuits: int,
                        seed: int = 0,
                        families: Sequence[str] = ("clifford",
@@ -189,7 +222,10 @@ def differential_sweep(num_circuits: int,
                        backends: Optional[Sequence[Backend]] = None,
                        atol: float = DEFAULT_ATOL,
                        shrink: bool = True,
-                       stop_on_first: bool = False) -> SweepReport:
+                       stop_on_first: bool = False,
+                       checkpoint=None,
+                       resume: bool = True,
+                       flush_every: int = 25) -> SweepReport:
     """Fuzz ``num_circuits`` seeded circuits through the oracle.
 
     Circuit ``i`` uses family ``families[i % len]`` and seed
@@ -198,7 +234,18 @@ def differential_sweep(num_circuits: int,
     comparisons only — the frame property is re-checked separately on
     the shrunk circuit and reported as-is when it is the diverging
     pair).
+
+    ``checkpoint`` (a run directory or
+    :class:`~repro.runtime.CheckpointStore`) journals progress every
+    ``flush_every`` circuits — and immediately on every divergence, so
+    a found bug survives any crash.  With ``resume=True`` a matching
+    journal fast-forwards past already-checked circuits; each circuit
+    is pinned by its own seed, so the resumed report equals the
+    uninterrupted one.  A corrupted journal raises
+    :class:`~repro.exceptions.CheckpointError`.
     """
+    from repro.runtime.checkpoint import as_store
+
     if backends is None:
         backends = default_backends()
     report = SweepReport(
@@ -209,7 +256,51 @@ def differential_sweep(num_circuits: int,
         max_gates=max_gates,
         backend_names=tuple(b.name for b in backends),
     )
-    for index in range(num_circuits):
+    store = as_store(checkpoint)
+    start_index = 0
+    if store is not None:
+        fingerprint = {
+            "workload": "differential_sweep",
+            "num_circuits": int(num_circuits),
+            "seed": int(seed),
+            "families": list(families),
+            "max_qubits": int(max_qubits),
+            "max_gates": int(max_gates),
+            "backends": [b.name for b in backends],
+            "atol": float(atol),
+            "shrink": bool(shrink),
+            "stop_on_first": bool(stop_on_first),
+        }
+        if resume and store.exists():
+            store.check_fingerprint(fingerprint)
+            for record in store.load_records("circuits"):
+                start_index = max(start_index,
+                                  int(record["through_index"]))
+                for payload in record.get("divergences", []):
+                    report.divergences.append(
+                        _divergence_from_payload(payload))
+            report.circuits_run = start_index
+        else:
+            store.clear()
+            store.write_header(fingerprint)
+
+    unflushed: List[Divergence] = []
+    last_flushed = start_index
+
+    def _flush(through_index: int) -> None:
+        nonlocal last_flushed, unflushed
+        if store is None:
+            return
+        if through_index == last_flushed and not unflushed:
+            return
+        store.append_record("circuits", {
+            "through_index": through_index,
+            "divergences": [_divergence_payload(d) for d in unflushed],
+        })
+        last_flushed = through_index
+        unflushed = []
+
+    for index in range(start_index, num_circuits):
         family = families[index % len(families)]
         circuit_seed = circuit_seed_for(seed, index)
         circuit = generators.generate(family, circuit_seed,
@@ -219,6 +310,8 @@ def differential_sweep(num_circuits: int,
                                    atol=atol, frame_seed=circuit_seed)
         report.circuits_run += 1
         if divergence is None:
+            if (index + 1 - last_flushed) >= max(1, flush_every):
+                _flush(index + 1)
             continue
         divergence.family = family
         divergence.seed = circuit_seed
@@ -233,8 +326,16 @@ def differential_sweep(num_circuits: int,
             except VerificationError:
                 divergence.shrunk = None
         report.divergences.append(divergence)
+        unflushed.append(divergence)
+        _flush(index + 1)
         if stop_on_first:
             break
+    _flush(report.circuits_run)
+    if store is not None:
+        store.finalize({
+            "circuits_run": report.circuits_run,
+            "divergences": len(report.divergences),
+        })
     return report
 
 

@@ -27,6 +27,8 @@ round-tripping is exact.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Callable, Dict, List, Optional
 
 from repro.circuits import gates
@@ -140,6 +142,44 @@ def reseed_command(family: str, seed: int, max_qubits: int,
         f"max_gates={max_gates}); "
         "print(check_circuit(c) or 'no divergence')\""
     )
+
+
+def write_artifact(path: str, text: str,
+                   best_effort: bool = False) -> Optional[str]:
+    """Write a failure artifact atomically, creating parent directories.
+
+    The text lands via write-to-``.tmp``-then-``os.replace``, so a
+    crash (or a second writer) never leaves a half-written reproducer
+    — CI either uploads the previous complete artifact or the new
+    one.  With ``best_effort=True`` filesystem errors are swallowed
+    and ``None`` returned: artifact writing happens while a test
+    assertion is already propagating, and a read-only or full disk
+    must not mask the real failure.  Returns the path on success.
+    """
+    try:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+    except OSError:
+        if best_effort:
+            return None
+        raise
 
 
 def format_failure(circuit: Circuit, *, family: Optional[str] = None,

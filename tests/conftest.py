@@ -79,15 +79,18 @@ def fuzz_reporter(request) -> FuzzReporter:
 
 
 def _write_fuzz_artifact(reporter: FuzzReporter, block: str) -> None:
+    """Best-effort artifact drop: atomic, creates the directory, and
+    never raises — this runs while a test failure is already
+    propagating, and a full disk must not mask it."""
     artifact_dir = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR")
     if not artifact_dir:
         return
-    os.makedirs(artifact_dir, exist_ok=True)
+    from repro.verify.reporting import write_artifact
+
     safe = "".join(ch if ch.isalnum() or ch in "._-" else "_"
                    for ch in reporter.node_name)
     path = os.path.join(artifact_dir, f"{safe}.reproducer.txt")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(block + "\n")
+    write_artifact(path, block + "\n", best_effort=True)
 
 
 @pytest.hookimpl(hookwrapper=True)

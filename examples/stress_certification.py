@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Stress-certify the paper's gadgets under structured noise.
+
+Sweeps the gadget suite (N gate, T gadget, Toffoli, recovery) across
+the structured model family — biased, correlated-burst, drifting,
+crosstalk and twirled-over-rotation noise — and prints the
+pass/degrade/fail verdict table, including the two sharp structural
+claims:
+
+* classical-ancilla **phase immunity**: zero failures under fully
+  phase-biased noise at every tested strength;
+* the 2k+1 majority vote's **burst radius**: survives every weight<=k
+  X burst and breaks exactly at weight k+1 (found exhaustively).
+
+Run:  PYTHONPATH=src python examples/stress_certification.py
+      [--trials N] [--p P] [--gadgets n,t,toffoli,recovery]
+      [--out DIR]
+
+``--out`` writes ``stress_verdicts.txt`` and ``stress_verdicts.json``
+(the CI stress job uploads these as artifacts).  Exit status is 0 when
+certified (no ``fail`` rows), 1 otherwise.
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import stress_certify
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Structured-noise stress certification")
+    parser.add_argument("--trials", type=int, default=300,
+                        help="Monte-Carlo trials per (gadget, model)")
+    parser.add_argument("--p", type=float, default=0.005,
+                        help="per-location strike probability")
+    parser.add_argument("--seed", type=int, default=20260806)
+    parser.add_argument("--gadgets", default="n,t,toffoli,recovery",
+                        help="comma-separated gadget subset")
+    parser.add_argument("--out", default=None,
+                        help="directory for the verdict-table artifacts")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    report = stress_certify(
+        trials=args.trials,
+        p=args.p,
+        seed=args.seed,
+        gadgets=tuple(name.strip()
+                      for name in args.gadgets.split(",") if name.strip()),
+        progress=lambda message: print(
+            f"  [{time.time() - start:6.1f}s] {message}", flush=True),
+    )
+    table = report.format_table()
+    print()
+    print(table)
+    print(f"\nelapsed: {time.time() - start:.1f}s")
+
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "stress_verdicts.txt").write_text(table + "\n")
+        (out / "stress_verdicts.json").write_text(report.to_json() + "\n")
+        print(f"verdict table written to {out}/")
+
+    return 0 if report.certified else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

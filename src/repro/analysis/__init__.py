@@ -34,6 +34,15 @@ from repro.analysis.scaling import (
     scaling_is_linear,
     scaling_is_quadratic,
 )
+from repro.analysis.stress import (
+    StressReport,
+    StressVerdict,
+    certify_phase_immunity,
+    gadget_cases,
+    majority_burst_break_point,
+    stress_certify,
+    structured_model_family,
+)
 from repro.analysis.threshold import (
     ThresholdReport,
     analyze_gadget,
@@ -52,20 +61,26 @@ __all__ = [
     "ProgressEvent",
     "ResidualSignature",
     "SingleFaultSurvey",
+    "StressReport",
+    "StressVerdict",
     "ThresholdReport",
     "analyze_gadget",
     "canonical_pattern",
+    "certify_phase_immunity",
     "classical_block_value_evaluator",
     "evaluate_fault_pattern",
     "exhaustive_single_faults_sparse",
     "fit_power_law",
     "format_series",
+    "gadget_cases",
     "gadget_monte_carlo",
+    "majority_burst_break_point",
     "n_gadget_evaluator",
     "recovered_overlap_evaluator",
     "sample_malignant_pairs",
     "sampled_threshold_report",
     "scaling_is_linear",
     "scaling_is_quadratic",
-    "sweep_p",
+    "stress_certify",
+    "structured_model_family",
 ]

@@ -694,11 +694,23 @@ def _location_setup(noise: Optional[NoiseModel], gadget: Gadget,
     return probs, choices, after_ops
 
 
-def _spawn_chunks(seed: Optional[int], total: int, chunk_size: int
+def _spawn_chunks(seed: Optional[int], total: int, chunk_size: int,
+                  stream_key: Sequence[int] = ()
                   ) -> List[Tuple[int, np.random.SeedSequence]]:
-    """(chunk_length, child seed) pairs — worker-count independent."""
+    """(chunk_length, child seed) pairs — worker-count independent.
+
+    ``stream_key`` is the noise model's ``stream_key()``: empty for the
+    baseline models (the root stays ``SeedSequence(seed)``, preserving
+    every historical seeded stream byte-for-byte) and a
+    fingerprint-derived spawn key for structured models, so two
+    different models never share a fault stream at the same seed.
+    """
     slices = _chunk_slices(total, chunk_size)
-    children = np.random.SeedSequence(seed).spawn(len(slices))
+    if stream_key:
+        root = np.random.SeedSequence(seed, spawn_key=tuple(stream_key))
+    else:
+        root = np.random.SeedSequence(seed)
+    children = root.spawn(len(slices))
     return [(hi - lo, child) for (lo, hi), child in zip(slices, children)]
 
 
@@ -792,6 +804,13 @@ def run_monte_carlo(gadget: Gadget,
     )
 
     start = time.perf_counter()
+    if not noise.samplable:
+        raise AnalysisError(
+            f"{type(noise).__name__} has no stochastic Pauli "
+            "unravelling and cannot feed the sampling engine; compose "
+            "it exactly with repro.noise.injection."
+            "run_with_coherent_noise or sample its Pauli twirl"
+        )
     if locations is None:
         locations = _default_locations(gadget)
     locations = list(locations)
@@ -811,6 +830,11 @@ def run_monte_carlo(gadget: Gadget,
         "p_delay": float(noise.p_delay),
         "channel": noise.channel,
     }
+    if noise.structured:
+        # Structured models carry their full identity; baseline
+        # fingerprints stay exactly as before so existing journals
+        # keep resuming.
+        fingerprint["model"] = repr(noise.fingerprint())
     store, cache = _open_journal(checkpoint, resume, seed, memoize,
                                  cache, fingerprint, stats)
     probs, choices, after_ops = _location_setup(noise, gadget, locations)
@@ -818,11 +842,34 @@ def run_monte_carlo(gadget: Gadget,
     histogram: Dict[int, int] = {}
     pattern_counts: Dict[FaultPattern, int] = {}
     sample_start = time.perf_counter()
-    chunks = _spawn_chunks(seed, trials, chunk_size)
+    chunks = _spawn_chunks(seed, trials, chunk_size,
+                           stream_key=noise.stream_key())
     stats.chunks = len(chunks)
     sampled_trials = 0
     for chunk_index, (length, child) in enumerate(chunks):
         rng = np.random.default_rng(child)
+        if noise.structured:
+            # Structured models own their sampling (correlations,
+            # weights, time dependence live in the model); the
+            # vectorised iid fast path below would miss all of that.
+            for _ in range(length):
+                sampled = noise.sample_faults(gadget.circuit, rng,
+                                              locations)
+                faults = [(fault.pauli, fault.after_op)
+                          for fault in sampled]
+                count = len(faults)
+                histogram[count] = histogram.get(count, 0) + 1
+                if count:
+                    key = canonical_pattern(faults)
+                    pattern_counts[key] = pattern_counts.get(key, 0) + 1
+            sampled_trials += length
+            if progress is not None:
+                progress(ProgressEvent(
+                    phase="sample", done=sampled_trials, total=trials,
+                    chunk_index=chunk_index, chunks_total=len(chunks),
+                    elapsed_seconds=time.perf_counter() - sample_start,
+                ))
+            continue
         strikes = rng.random((length, len(locations)))
         for row in range(length):
             struck = np.nonzero(strikes[row] < probs)[0]

@@ -4,23 +4,60 @@ from repro.noise.injection import (
     MonteCarloResult,
     exhaustive_single_faults,
     monte_carlo,
+    run_with_coherent_noise,
     run_with_faults,
 )
 from repro.noise.locations import (
     FaultLocation,
+    burst_locations,
     count_locations,
+    crosstalk_locations,
     enumerate_locations,
 )
-from repro.noise.model import NoiseModel, SampledFault
+from repro.noise.model import (
+    CHANNELS,
+    ChannelSpec,
+    NoiseModel,
+    SampledFault,
+    channel_names,
+    channel_spec,
+    register_channel,
+)
+from repro.noise.structured import (
+    BiasedPauliModel,
+    CoherentOverRotationModel,
+    CorrelatedBurstModel,
+    CrosstalkModel,
+    DriftingRateModel,
+    RateSchedule,
+    StructuredNoiseModel,
+    TwirledOverRotationModel,
+)
 
 __all__ = [
+    "BiasedPauliModel",
+    "CHANNELS",
+    "ChannelSpec",
+    "CoherentOverRotationModel",
+    "CorrelatedBurstModel",
+    "CrosstalkModel",
+    "DriftingRateModel",
     "FaultLocation",
     "MonteCarloResult",
     "NoiseModel",
+    "RateSchedule",
     "SampledFault",
+    "StructuredNoiseModel",
+    "TwirledOverRotationModel",
+    "burst_locations",
+    "channel_names",
+    "channel_spec",
     "count_locations",
+    "crosstalk_locations",
     "enumerate_locations",
     "exhaustive_single_faults",
     "monte_carlo",
+    "register_channel",
+    "run_with_coherent_noise",
     "run_with_faults",
 ]

@@ -19,7 +19,7 @@ the Pauli propagator consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import Circuit, GateOp
 from repro.circuits.pauli import PauliString
@@ -137,6 +137,101 @@ def count_locations(circuit: Circuit, **kwargs) -> dict:
     """Histogram of location kinds — the paper's counting input."""
     counts = {"input": 0, "gate": 0, "delay": 0}
     for location in enumerate_locations(circuit, **kwargs):
-        counts[location.kind] += 1
+        counts[location.kind] = counts.get(location.kind, 0) + 1
     counts["total"] = sum(counts.values())
     return counts
+
+
+def burst_locations(circuit: Circuit,
+                    weight: int,
+                    qubits: Optional[Sequence[int]] = None,
+                    after_ops: Sequence[int] = (-1,)
+                    ) -> List[FaultLocation]:
+    """Multi-qubit burst locations: contiguous windows of ``weight``
+    qubits, one location per (window, insertion point).
+
+    These model spatially-clustered error events the iid per-location
+    model cannot express: a single physical disturbance (a control
+    glitch, an RF spike on an NMR ensemble) striking several adjacent
+    qubits at once.  With ``weight=1`` this degenerates to ordinary
+    single-qubit locations.
+
+    Args:
+        circuit: supplies the register width and operation count.
+        weight: qubits per burst window (>= 1).
+        qubits: ordered qubit list the windows slide over (default all
+            register qubits in index order; pass a register's qubit
+            tuple to confine bursts to one block — e.g. the classical
+            ancilla for the majority-vote break-point sweep).
+        after_ops: insertion points; -1 injects before the first
+            operation, ``len(operations) - 1`` after the last.
+    """
+    if weight < 1:
+        raise AnalysisError(f"burst weight must be >= 1, got {weight}")
+    ordered = list(range(circuit.num_qubits)) if qubits is None \
+        else list(qubits)
+    if weight > len(ordered):
+        raise AnalysisError(
+            f"burst weight {weight} exceeds the {len(ordered)} qubits "
+            f"available"
+        )
+    last = len(circuit.operations) - 1
+    locations: List[FaultLocation] = []
+    for after_op in after_ops:
+        if not -1 <= after_op <= last:
+            raise AnalysisError(
+                f"after_op {after_op} outside [-1, {last}]"
+            )
+        for start in range(len(ordered) - weight + 1):
+            window = tuple(ordered[start:start + weight])
+            locations.append(FaultLocation(
+                kind="burst", qubits=window, after_op=after_op,
+                detail=f"burst w{weight} q{window[0]}..q{window[-1]}"
+                       f"@op{after_op}",
+            ))
+    return locations
+
+
+def crosstalk_locations(circuit: Circuit,
+                        coupling: Optional[Dict[int, Sequence[int]]]
+                        = None) -> List[FaultLocation]:
+    """Spectator locations: one per (multi-qubit gate, neighbor qubit).
+
+    When a coupled gate (CNOT and friends) fires, qubits adjacent to
+    its operands can pick up errors from residual coupling even though
+    the iid model charges them nothing.  Each returned location sits on
+    one spectator qubit, anchored right after the gate that disturbs
+    it.
+
+    Args:
+        circuit: the circuit under analysis.
+        coupling: adjacency map ``qubit -> neighbors``; default is the
+            linear chain ``q-1, q+1`` (the paper's NMR setting is a
+            1-D spin chain).
+    """
+    def neighbors(qubit: int) -> List[int]:
+        if coupling is not None:
+            return [q for q in coupling.get(qubit, ())
+                    if 0 <= q < circuit.num_qubits]
+        return [q for q in (qubit - 1, qubit + 1)
+                if 0 <= q < circuit.num_qubits]
+
+    locations: List[FaultLocation] = []
+    for index, op in enumerate(circuit.operations):
+        if not isinstance(op, GateOp):
+            raise AnalysisError(
+                "crosstalk enumeration requires a measurement-free "
+                "circuit"
+            )
+        if len(op.qubits) < 2:
+            continue
+        spectators = sorted({
+            q for operand in op.qubits for q in neighbors(operand)
+        } - set(op.qubits))
+        for spectator in spectators:
+            locations.append(FaultLocation(
+                kind="crosstalk", qubits=(spectator,), after_op=index,
+                detail=f"crosstalk q{spectator}<-"
+                       f"{op.gate.name}@op{index}",
+            ))
+    return locations

@@ -6,12 +6,19 @@ describing what a fault looks like when it strikes (uniform
 depolarizing by default, or restricted bit-flip / phase-flip channels
 for the ablation studies that separate the two error species the
 paper treats so differently).
+
+Channels live in an open registry (:func:`register_channel`): the
+structured-noise models of :mod:`repro.noise.structured` and the
+verify fuzz generators add restricted channels without editing this
+module.  A channel is a named restriction of the per-qubit Pauli
+alphabet; everything else about a model (probabilities, correlations,
+weights) belongs to the model, not the channel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +27,88 @@ from repro.circuits.pauli import PauliString, pauli_basis
 from repro.exceptions import SimulationError
 from repro.noise.locations import FaultLocation, enumerate_locations
 
-#: Channel names accepted by :class:`NoiseModel`.
+_PAULI_LETTERS = frozenset("XYZ")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One registered channel: a named per-qubit Pauli restriction.
+
+    Attributes:
+        name: registry key (what ``NoiseModel(channel=...)`` takes).
+        letters: allowed non-identity Pauli letters; ``None`` means the
+            full X/Y/Z alphabet (depolarizing-style).
+    """
+
+    name: str
+    letters: Optional[frozenset] = None
+
+    def allows(self, label: str) -> bool:
+        """Whether a (possibly multi-qubit) Pauli label fits here."""
+        if self.letters is None:
+            return True
+        return not (set(label) - ({"I"} | self.letters))
+
+
+_CHANNEL_REGISTRY: Dict[str, ChannelSpec] = {}
+
+
+def register_channel(name: str,
+                     letters: Optional[Sequence[str]] = None,
+                     overwrite: bool = False) -> ChannelSpec:
+    """Register a channel so any :class:`NoiseModel` can use it.
+
+    Args:
+        name: registry key.
+        letters: allowed non-identity Pauli letters (subset of XYZ);
+            ``None`` allows all three.
+        overwrite: allow replacing an existing registration (identical
+            re-registration is always allowed — structured models
+            register their channels idempotently on construction).
+    """
+    if letters is not None:
+        letter_set = frozenset(letters)
+        if not letter_set or letter_set - _PAULI_LETTERS:
+            raise SimulationError(
+                f"channel {name!r}: letters must be a non-empty subset "
+                f"of X/Y/Z, got {sorted(letters)!r}"
+            )
+    else:
+        letter_set = None
+    spec = ChannelSpec(name=name, letters=letter_set)
+    existing = _CHANNEL_REGISTRY.get(name)
+    if existing is not None and existing != spec and not overwrite:
+        raise SimulationError(
+            f"channel {name!r} is already registered with different "
+            f"letters; pass overwrite=True to replace it"
+        )
+    _CHANNEL_REGISTRY[name] = spec
+    return spec
+
+
+def channel_spec(name: str) -> ChannelSpec:
+    """Look up a registered channel, with a helpful failure message."""
+    try:
+        return _CHANNEL_REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown channel {name!r}; registered channels: "
+            f"{channel_names()}"
+        ) from None
+
+
+def channel_names() -> Tuple[str, ...]:
+    """All registered channel names, registration order."""
+    return tuple(_CHANNEL_REGISTRY)
+
+
+# The paper's three ablation channels, always present.
+register_channel("depolarizing", None)
+register_channel("bit_flip", ("X",))
+register_channel("phase_flip", ("Z",))
+
+#: Built-in channel names (kept for backwards compatibility; the full
+#: set, including registered extensions, is :func:`channel_names`).
 CHANNELS = ("depolarizing", "bit_flip", "phase_flip")
 
 
@@ -42,9 +130,19 @@ class NoiseModel:
             (None copies p_gate).
         p_delay: probability of an error per delay-line location
             (None copies p_gate).
-        channel: 'depolarizing' (uniform over non-identity Paulis),
-            'bit_flip' (X only) or 'phase_flip' (Z only).
+        channel: any registered channel name — 'depolarizing' (uniform
+            over non-identity Paulis), 'bit_flip' (X only),
+            'phase_flip' (Z only), or an extension added through
+            :func:`register_channel`.
     """
+
+    #: Structured subclasses (correlated/biased/drifting models) set
+    #: this True; the engine then samples through the model instead of
+    #: the vectorised iid path.
+    structured = False
+    #: False for models with no stochastic Pauli unravelling (coherent
+    #: over-rotations); those cannot feed the sampling engine.
+    samplable = True
 
     def __init__(self, p_gate: float,
                  p_input: Optional[float] = None,
@@ -53,10 +151,7 @@ class NoiseModel:
         for value in (p_gate, p_input, p_delay):
             if value is not None and not 0.0 <= value <= 1.0:
                 raise SimulationError(f"probability {value} outside [0,1]")
-        if channel not in CHANNELS:
-            raise SimulationError(
-                f"unknown channel {channel!r}; pick one of {CHANNELS}"
-            )
+        channel_spec(channel)  # validate against the registry
         self.p_gate = p_gate
         self.p_input = p_gate if p_input is None else p_input
         self.p_delay = p_gate if p_delay is None else p_delay
@@ -78,17 +173,48 @@ class NoiseModel:
                       num_qubits: int) -> List[PauliString]:
         """The Pauli faults this channel can place at a location."""
         width = len(location.qubits)
+        spec = channel_spec(self.channel)
         choices: List[PauliString] = []
         for local in pauli_basis(width):
             if local.is_identity:
                 continue
-            label = local.label()
-            if self.channel == "bit_flip" and set(label) - {"I", "X"}:
-                continue
-            if self.channel == "phase_flip" and set(label) - {"I", "Z"}:
+            if not spec.allows(local.label()):
                 continue
             choices.append(local.embedded(num_qubits, list(location.qubits)))
         return choices
+
+    def fault_weights(self, location: FaultLocation,
+                      choices: Sequence[PauliString]
+                      ) -> Optional[np.ndarray]:
+        """Relative strike weights over ``choices`` (None = uniform).
+
+        The base model is uniform and returns ``None``, which keeps
+        the historical RNG stream (a single ``rng.integers`` draw)
+        byte-identical; biased subclasses return a probability vector
+        and the sampler switches to a weighted draw.
+        """
+        return None
+
+    def fingerprint(self) -> Tuple:
+        """Stable, hashable description of the model.
+
+        Used for checkpoint-run identity and (for structured models)
+        to derive the :meth:`stream_key` that separates their RNG
+        streams from the baseline ones.
+        """
+        return ("iid", float(self.p_gate), float(self.p_input),
+                float(self.p_delay), self.channel)
+
+    def stream_key(self) -> Tuple[int, ...]:
+        """SeedSequence spawn key for the engine's chunked streams.
+
+        Baseline models return the empty tuple — the engine then seeds
+        ``SeedSequence(seed)`` exactly as it always has, keeping
+        historical seeded results byte-identical.  Structured models
+        derive a non-empty key from their fingerprint so two different
+        models never share a fault stream for the same seed.
+        """
+        return ()
 
     def sample_faults(self, circuit: Circuit,
                       rng: np.random.Generator,
@@ -105,7 +231,11 @@ class NoiseModel:
             choices = self.fault_choices(location, circuit.num_qubits)
             if not choices:
                 continue
-            pauli = choices[int(rng.integers(0, len(choices)))]
+            weights = self.fault_weights(location, choices)
+            if weights is None:
+                pauli = choices[int(rng.integers(0, len(choices)))]
+            else:
+                pauli = choices[int(rng.choice(len(choices), p=weights))]
             faults.append(SampledFault(
                 pauli=pauli, after_op=location.after_op, location=location,
             ))

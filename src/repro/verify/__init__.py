@@ -43,6 +43,7 @@ from repro.verify.generators import (
     random_clifford_circuit,
     random_clifford_t_circuit,
     random_gadget_circuit,
+    random_noise_model,
     random_pauli,
 )
 from repro.verify.metamorphic import (
@@ -104,6 +105,7 @@ __all__ = [
     "random_clifford_circuit",
     "random_clifford_t_circuit",
     "random_gadget_circuit",
+    "random_noise_model",
     "random_pauli",
     "reseed_command",
     "result_discrepancy",

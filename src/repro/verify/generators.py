@@ -183,6 +183,28 @@ def random_pauli(num_qubits: int, seed: int,
             return pauli
 
 
+def random_noise_model(seed: int, max_p: float = 0.3):
+    """A seeded random :class:`~repro.noise.model.NoiseModel`.
+
+    Draws a random non-empty Pauli-letter subset, registers it as a
+    fuzz channel through the open channel registry (this is what the
+    registry exists for — no edit to ``model.py`` needed), and returns
+    a model with random per-kind probabilities.  Fully determined by
+    ``seed``, so fuzz failures reproduce from one number.
+    """
+    from repro.noise.model import NoiseModel, register_channel
+
+    rng = np.random.default_rng(seed)
+    subsets = ("X", "Y", "Z", "XY", "XZ", "YZ", "XYZ")
+    letters = subsets[int(rng.integers(len(subsets)))]
+    name = f"fuzz[{letters}]"
+    register_channel(name, tuple(letters))
+    p_gate, p_input, p_delay = (float(p) for p in
+                                rng.uniform(0.0, max_p, size=3))
+    return NoiseModel(p_gate, p_input=p_input, p_delay=p_delay,
+                      channel=name)
+
+
 #: family name -> generator(seed, max_qubits, max_gates)
 FAMILIES: Dict[str, Callable[[int, int, int], Circuit]] = {
     "clifford": random_clifford_circuit,

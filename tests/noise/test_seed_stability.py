@@ -1,0 +1,100 @@
+"""Seed-stability guard for the baseline noise streams.
+
+The structured-noise layer (``repro.noise.structured``) threads new
+sampling paths through ``NoiseModel``, the fault-injection engine and
+the checkpoint fingerprints.  Its contract is that the *existing*
+depolarizing / bit-flip / phase-flip streams are untouched: a seeded
+baseline run before the structured plumbing landed and one after must
+be byte-identical.  The digests pinned here were computed on the tree
+immediately before ``repro.noise.structured`` was added; any change to
+them is a reproducibility break, not a test to update casually.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.analysis import n_gadget_evaluator
+from repro.analysis.engine import FaultPatternCache, run_monte_carlo
+from repro.ft import build_n_gadget
+from repro.ft.special_states import sparse_coset_state
+from repro.noise import NoiseModel, enumerate_locations
+
+#: sha256[:16] over 200 seeded sample_faults draws (seed 777, p=0.3)
+#: on the trivial-code N gadget circuit, formatted
+#: "<label>@<after_op>:<kind>" and joined with "|".
+SAMPLE_STREAM_DIGESTS = {
+    "depolarizing": (196, "b2aea5f62f3bced9"),
+    "bit_flip": (204, "871727365878720c"),
+    "phase_flip": (204, "1fd33948a2942adf"),
+}
+
+#: Engine path: (failures, histogram, distinct patterns, sha256[:16]
+#: over the sorted cache keys) for run_monte_carlo with seed 424242,
+#: p=0.2, trials=600, chunk_size=64.
+ENGINE_DIGESTS = {
+    "depolarizing": (177, {0: 363, 1: 206, 2: 31}, 41,
+                     "cd85c4b1664a0155"),
+    "bit_flip": (227, {0: 363, 1: 206, 2: 31}, 7,
+                 "d658df585aa2c99d"),
+    "phase_flip": (0, {0: 363, 1: 206, 2: 31}, 7,
+                   "74667e7ea3f43991"),
+}
+
+
+@pytest.fixture(scope="module")
+def harness(trivial):
+    gadget = build_n_gadget(trivial)
+    initial = gadget.initial_state(
+        {"quantum": sparse_coset_state(trivial, 0)}
+    )
+    evaluator = n_gadget_evaluator(gadget, trivial, 0)
+    locations = enumerate_locations(gadget.circuit)
+    return gadget, initial, evaluator, locations
+
+
+@pytest.mark.parametrize("channel", sorted(SAMPLE_STREAM_DIGESTS))
+def test_sample_faults_stream_unchanged(harness, channel):
+    gadget, _, _, locations = harness
+    model = NoiseModel.uniform(0.3, channel=channel)
+    rng = np.random.default_rng(777)
+    parts = []
+    for _ in range(200):
+        for fault in model.sample_faults(gadget.circuit, rng, locations):
+            parts.append(
+                f"{fault.pauli.label()}@{fault.after_op}:"
+                f"{fault.location.kind}"
+            )
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+    assert (len(parts), digest) == SAMPLE_STREAM_DIGESTS[channel]
+
+
+@pytest.mark.parametrize("channel", sorted(ENGINE_DIGESTS))
+def test_engine_stream_and_cache_keys_unchanged(harness, channel):
+    gadget, initial, evaluator, _ = harness
+    cache = FaultPatternCache()
+    noise = NoiseModel.uniform(0.2, channel=channel)
+    result = run_monte_carlo(gadget, initial, evaluator, noise,
+                             trials=600, seed=424242, workers=1,
+                             chunk_size=64, cache=cache)
+    keys = sorted(
+        "|".join(f"{pauli.label()}@{after_op}"
+                 for pauli, after_op in pattern)
+        for pattern, _ in cache.items()
+    )
+    digest = hashlib.sha256("&&".join(keys).encode()).hexdigest()[:16]
+    failures, histogram, distinct, expected_digest = \
+        ENGINE_DIGESTS[channel]
+    assert result.failures == failures
+    assert dict(sorted(result.fault_count_histogram.items())) == histogram
+    assert (len(keys), digest) == (distinct, expected_digest)
+
+
+def test_baseline_stream_key_is_empty(harness):
+    """Baseline models must not perturb the SeedSequence spawn: their
+    stream key is the empty tuple, which selects the historical
+    ``SeedSequence(seed)`` root."""
+    for channel in SAMPLE_STREAM_DIGESTS:
+        model = NoiseModel.uniform(0.1, channel=channel)
+        assert tuple(model.stream_key()) == ()

@@ -9,8 +9,9 @@ see them live) and appended to ``benchmarks/results/report.txt``.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -60,6 +61,28 @@ def engine_stats_lines(stats: Optional[object]) -> List[str]:
     if stats is None:
         return ["engine: serial path (no engine stats)"]
     return stats.summary_lines()
+
+
+def verdict_lines(verdicts: Iterable[object]) -> List[str]:
+    """One summary line per :class:`repro.analysis.stats.ClaimVerdict`
+    (or anything else exposing ``summary_line()``)."""
+    return [verdict.summary_line() for verdict in verdicts]
+
+
+def json_artifact(name: str, payload: Dict[str, Any]) -> str:
+    """Persist a machine-readable artifact under ``results/``.
+
+    Written atomically (tmp + rename) so a crashed benchmark never
+    leaves a torn JSON for CI to upload.  Returns the final path.
+    """
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, name)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
 
 
 def _fmt(value: object) -> str:

@@ -714,6 +714,112 @@ def _spawn_chunks(seed: Optional[int], total: int, chunk_size: int,
     return [(hi - lo, child) for (lo, hi), child in zip(slices, children)]
 
 
+def chunk_seed_sequence(seed: int, chunk_index: int,
+                        stream_key: Sequence[int] = ()
+                        ) -> np.random.SeedSequence:
+    """The SeedSequence :func:`_spawn_chunks` assigns to chunk ``i`` —
+    computed directly, without knowing the total trial count.
+
+    ``SeedSequence(seed).spawn(n)[i]`` equals
+    ``SeedSequence(seed, spawn_key=(i,))`` for every explicit seed
+    (spawning appends the child index to the spawn key), so a
+    sequential run that decides its stopping time on the fly draws the
+    *same* fault stream, chunk for chunk, as a fixed-budget run at the
+    same ``(seed, chunk_size)``.  That prefix property is what makes
+    early stopping bias-free at the sampling level and what the
+    resume-invariance tests pin down.
+
+    Requires an explicit seed: with ``seed=None`` each SeedSequence
+    construction draws fresh OS entropy and the equivalence (and any
+    notion of resuming) is meaningless.
+    """
+    if seed is None:
+        raise AnalysisError(
+            "sequential sampling requires an explicit seed: chunk "
+            "streams are addressed by (seed, chunk_index) and cannot "
+            "be reproduced from OS entropy"
+        )
+    key = tuple(int(part) for part in stream_key) + (int(chunk_index),)
+    return np.random.SeedSequence(seed, spawn_key=key)
+
+
+def sample_fault_chunk(noise: NoiseModel, gadget: Gadget,
+                       locations: Sequence[FaultLocation],
+                       probs: np.ndarray,
+                       choices: List[List[PauliString]],
+                       after_ops: List[int],
+                       rng: np.random.Generator,
+                       length: int,
+                       histogram: Dict[int, int],
+                       pattern_counts: Dict[FaultPattern, int]) -> None:
+    """Sample ``length`` Monte-Carlo trials from one chunk RNG.
+
+    Folds fault-count tallies into ``histogram`` and canonical
+    patterns into ``pattern_counts`` in place.  This is the exact draw
+    sequence the historical ``run_monte_carlo`` loop used (structured
+    per-trial path, vectorised iid fast path) — extracted so the
+    sequential runner can consume the same streams batch by batch.
+    The seeded-stream stability tests pin the draw order; do not
+    reorder RNG calls here.
+    """
+    if noise.structured:
+        # Structured models own their sampling (correlations, weights,
+        # time dependence live in the model); the vectorised iid fast
+        # path below would miss all of that.
+        for _ in range(length):
+            sampled = noise.sample_faults(gadget.circuit, rng,
+                                          locations)
+            faults = [(fault.pauli, fault.after_op)
+                      for fault in sampled]
+            count = len(faults)
+            histogram[count] = histogram.get(count, 0) + 1
+            if count:
+                key = canonical_pattern(faults)
+                pattern_counts[key] = pattern_counts.get(key, 0) + 1
+        return
+    strikes = rng.random((length, len(locations)))
+    for row in range(length):
+        struck = np.nonzero(strikes[row] < probs)[0]
+        faults: List[Fault] = []
+        for loc_index in struck:
+            loc_choices = choices[loc_index]
+            if not loc_choices:
+                continue
+            pauli = loc_choices[int(rng.integers(0, len(loc_choices)))]
+            faults.append((pauli, after_ops[loc_index]))
+        count = len(faults)
+        histogram[count] = histogram.get(count, 0) + 1
+        if count:
+            key = canonical_pattern(faults)
+            pattern_counts[key] = pattern_counts.get(key, 0) + 1
+
+
+def sample_pair_chunk(choices: List[List[PauliString]],
+                      after_ops: List[int],
+                      num_locations: int,
+                      rng: np.random.Generator,
+                      length: int,
+                      pattern_counts: Dict[FaultPattern, int]) -> None:
+    """Sample ``length`` uniform distinct location pairs from one chunk
+    RNG, folding canonical two-fault patterns into ``pattern_counts``.
+
+    Extracted from ``run_malignant_pairs`` unchanged (same draw order)
+    so sequential pair certification shares its fault stream.
+    """
+    for _ in range(length):
+        i = int(rng.integers(0, num_locations))
+        j = int(rng.integers(0, num_locations - 1))
+        if j >= i:
+            j += 1
+        faults: List[Fault] = []
+        for loc_index in (i, j):
+            loc_choices = choices[loc_index]
+            pauli = loc_choices[int(rng.integers(0, len(loc_choices)))]
+            faults.append((pauli, after_ops[loc_index]))
+        key = canonical_pattern(faults)
+        pattern_counts[key] = pattern_counts.get(key, 0) + 1
+
+
 def _open_journal(checkpoint, resume: bool, seed: Optional[int],
                   memoize: bool,
                   cache: Optional[FaultPatternCache],
@@ -848,43 +954,9 @@ def run_monte_carlo(gadget: Gadget,
     sampled_trials = 0
     for chunk_index, (length, child) in enumerate(chunks):
         rng = np.random.default_rng(child)
-        if noise.structured:
-            # Structured models own their sampling (correlations,
-            # weights, time dependence live in the model); the
-            # vectorised iid fast path below would miss all of that.
-            for _ in range(length):
-                sampled = noise.sample_faults(gadget.circuit, rng,
-                                              locations)
-                faults = [(fault.pauli, fault.after_op)
-                          for fault in sampled]
-                count = len(faults)
-                histogram[count] = histogram.get(count, 0) + 1
-                if count:
-                    key = canonical_pattern(faults)
-                    pattern_counts[key] = pattern_counts.get(key, 0) + 1
-            sampled_trials += length
-            if progress is not None:
-                progress(ProgressEvent(
-                    phase="sample", done=sampled_trials, total=trials,
-                    chunk_index=chunk_index, chunks_total=len(chunks),
-                    elapsed_seconds=time.perf_counter() - sample_start,
-                ))
-            continue
-        strikes = rng.random((length, len(locations)))
-        for row in range(length):
-            struck = np.nonzero(strikes[row] < probs)[0]
-            faults: List[Fault] = []
-            for loc_index in struck:
-                loc_choices = choices[loc_index]
-                if not loc_choices:
-                    continue
-                pauli = loc_choices[int(rng.integers(0, len(loc_choices)))]
-                faults.append((pauli, after_ops[loc_index]))
-            count = len(faults)
-            histogram[count] = histogram.get(count, 0) + 1
-            if count:
-                key = canonical_pattern(faults)
-                pattern_counts[key] = pattern_counts.get(key, 0) + 1
+        sample_fault_chunk(noise, gadget, locations, probs, choices,
+                           after_ops, rng, length, histogram,
+                           pattern_counts)
         sampled_trials += length
         if progress is not None:
             progress(ProgressEvent(
@@ -1005,18 +1077,8 @@ def run_malignant_pairs(gadget: Gadget,
     sampled = 0
     for chunk_index, (length, child) in enumerate(chunks):
         rng = np.random.default_rng(child)
-        for _ in range(length):
-            i = int(rng.integers(0, count))
-            j = int(rng.integers(0, count - 1))
-            if j >= i:
-                j += 1
-            faults: List[Fault] = []
-            for loc_index in (i, j):
-                loc_choices = choices[loc_index]
-                pauli = loc_choices[int(rng.integers(0, len(loc_choices)))]
-                faults.append((pauli, after_ops[loc_index]))
-            key = canonical_pattern(faults)
-            pattern_counts[key] = pattern_counts.get(key, 0) + 1
+        sample_pair_chunk(choices, after_ops, count, rng, length,
+                          pattern_counts)
         sampled += length
         if progress is not None:
             progress(ProgressEvent(

@@ -75,10 +75,42 @@ class GadgetMonteCarloResult:
 
     @property
     def stderr(self) -> float:
+        """Deprecated alias: a Wilson-based standard-error surrogate.
+
+        Historically this was the normal-approximation
+        ``sqrt(p(1-p)/n)``, which collapses to (nearly) zero at 0 or n
+        observed failures — exactly where fault-tolerance claims are
+        made.  It now routes through
+        :func:`repro.analysis.stats.interval_stderr` (the Wilson
+        half-width rescaled by the normal quantile): identical to the
+        classical value away from the boundaries, strictly positive
+        at them.  New code should use :meth:`interval` /
+        :meth:`failure_rate_upper_bound` instead of a +-stderr band.
+        """
+        from repro.analysis.stats import interval_stderr
+
+        return interval_stderr(self.failures, self.trials)
+
+    def interval(self, confidence: float = 0.95,
+                 method: str = "wilson"):
+        """Confidence interval for the failure rate (see
+        :func:`repro.analysis.stats.binomial_interval`)."""
+        from repro.analysis.stats import binomial_interval
+
+        return binomial_interval(self.failures, self.trials,
+                                 confidence, method)
+
+    def failure_rate_upper_bound(self, confidence: float = 0.95
+                                 ) -> float:
+        """One-sided Clopper–Pearson upper bound — the honest number
+        a zero-failure certification run should report."""
+        from repro.analysis.stats import clopper_pearson_interval
+
         if not self.trials:
-            return 0.0
-        rate = self.failure_rate
-        return float(np.sqrt(max(rate * (1 - rate), 1e-12) / self.trials))
+            return 1.0
+        return clopper_pearson_interval(
+            self.failures, self.trials,
+            1.0 - 2.0 * (1.0 - confidence)).upper
 
     @property
     def single_fault_failures(self) -> int:
@@ -294,6 +326,33 @@ class MalignantPairSample:
     def threshold_estimate(self) -> Optional[float]:
         estimate = self.estimated_malignant_pairs
         return 1.0 / estimate if estimate > 0 else None
+
+    def interval(self, confidence: float = 0.95,
+                 method: str = "wilson"):
+        """Confidence interval for the malignant fraction."""
+        from repro.analysis.stats import binomial_interval
+
+        return binomial_interval(self.malignant, self.samples,
+                                 confidence, method)
+
+    def threshold_interval(self, confidence: float = 0.95,
+                           method: str = "clopper-pearson"
+                           ) -> Tuple[Optional[float], Optional[float]]:
+        """(lower, upper) bounds on the threshold p_th ~ 1/M.
+
+        Inverts the malignant-fraction interval through the monotone
+        map f -> 1 / (f * location_pairs): the *upper* fraction bound
+        gives the conservative (lower) threshold bound.  ``None``
+        upper bound means the fraction interval reaches 0 — no finite
+        threshold ceiling can be claimed from this sample.
+        """
+        fraction = self.interval(confidence, method)
+        pairs = self.location_pairs
+        lower = (1.0 / (fraction.upper * pairs)
+                 if fraction.upper > 0 and pairs else None)
+        upper = (1.0 / (fraction.lower * pairs)
+                 if fraction.lower > 0 and pairs else None)
+        return lower, upper
 
 
 def sample_malignant_pairs(gadget: Gadget,

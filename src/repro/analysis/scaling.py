@@ -32,12 +32,18 @@ class PowerLawFit:
 
 def fit_power_law(p_values: Sequence[float],
                   rates: Sequence[float],
-                  stderrs: Optional[Sequence[float]] = None
+                  stderrs: Optional[Sequence[float]] = None,
+                  intervals: Optional[Sequence] = None
                   ) -> PowerLawFit:
     """Least-squares log-log fit, dropping zero-rate points.
 
     Zero observed failures at small p carry no log-space information;
     they are excluded (with at least two informative points required).
+    ``intervals`` (a :class:`~repro.analysis.stats.BinomialInterval`
+    per point, e.g. from :func:`~repro.analysis.sequential.
+    adaptive_sweep_p`) supersedes ``stderrs``: points whose interval
+    reaches 0 are statistically consistent with a zero rate and are
+    excluded the same way.
     """
     xs: List[float] = []
     ys: List[float] = []
@@ -46,7 +52,11 @@ def fit_power_law(p_values: Sequence[float],
             raise AnalysisError("p values must be positive")
         if rate <= 0:
             continue
-        if stderrs is not None and rate <= stderrs[index]:
+        if intervals is not None:
+            if intervals[index].lower <= 0.0:
+                # Interval reaches zero: too noisy to place.
+                continue
+        elif stderrs is not None and rate <= stderrs[index]:
             # Rate indistinguishable from zero: too noisy to place.
             continue
         xs.append(np.log(p))
@@ -80,8 +90,23 @@ def scaling_is_linear(fit: PowerLawFit, tolerance: float = 0.5) -> bool:
 
 def format_series(p_values: Sequence[float], rates: Sequence[float],
                   stderrs: Optional[Sequence[float]] = None,
-                  label: str = "") -> str:
-    """Human-readable table of a failure-rate series."""
+                  label: str = "",
+                  intervals: Optional[Sequence] = None) -> str:
+    """Human-readable table of a failure-rate series.
+
+    ``intervals`` adds certified confidence-interval columns (and
+    supersedes the ``stderr`` column).
+    """
+    if intervals is not None:
+        lines = [f"  {'p':>10s} {'failure rate':>14s} "
+                 f"{'ci low':>10s} {'ci high':>10s}"]
+        for index, (p, rate) in enumerate(zip(p_values, rates)):
+            interval = intervals[index]
+            lines.append(f"  {p:10.2e} {rate:14.6e} "
+                         f"{interval.lower:10.2e} "
+                         f"{interval.upper:10.2e}")
+        header = f"{label}\n" if label else ""
+        return header + "\n".join(lines)
     lines = [f"  {'p':>10s} {'failure rate':>14s}"
              + ("" if stderrs is None else f" {'stderr':>10s}")]
     for index, (p, rate) in enumerate(zip(p_values, rates)):

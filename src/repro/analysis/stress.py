@@ -84,6 +84,10 @@ class StressVerdict:
         baseline_rate: matched iid baseline rate (None when the claim
             is absolute rather than relative).
         detail: what was measured, in words.
+        ci_low / ci_high: confidence-interval endpoints on the
+            measured rate (None for exhaustive yes/no probes).
+        trials_used: trials actually consumed — below the budget when
+            a sequential run stopped early.
     """
 
     claim: str
@@ -93,6 +97,9 @@ class StressVerdict:
     failure_rate: Optional[float] = None
     baseline_rate: Optional[float] = None
     detail: str = ""
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+    trials_used: Optional[int] = None
 
 
 @dataclass
@@ -154,6 +161,9 @@ class StressReport:
                     "failure_rate": v.failure_rate,
                     "baseline_rate": v.baseline_rate,
                     "detail": v.detail,
+                    "ci_low": v.ci_low,
+                    "ci_high": v.ci_high,
+                    "trials_used": v.trials_used,
                 }
                 for v in self.verdicts
             ],
@@ -194,6 +204,17 @@ def certify_phase_immunity(code=None,
         result = run_monte_carlo(gadget, initial, evaluator, model,
                                  trials=trials, seed=seed, workers=1)
         nonzero = result.trials - result.fault_count_histogram.get(0, 0)
+        interval = result.interval()
+        detail = (f"{result.failures} failures / {nonzero} faulty "
+                  f"runs of {result.trials}")
+        if result.failures == 0 and result.trials:
+            # A clean run still bounds the rate: the rule-of-three
+            # upper limit is the honest zero-failure statement.
+            from repro.analysis.stats import rule_of_three_upper
+
+            detail += (f"; rate <= "
+                       f"{rule_of_three_upper(result.trials):.2e} "
+                       f"at 95%")
         report.add(StressVerdict(
             claim="phase-immunity",
             gadget=f"N[{code.name}]",
@@ -201,8 +222,10 @@ def certify_phase_immunity(code=None,
             verdict=PASS if result.failures == 0 else FAIL,
             failure_rate=result.failure_rate,
             baseline_rate=0.0,
-            detail=f"{result.failures} failures / {nonzero} faulty "
-                   f"runs of {result.trials}",
+            detail=detail,
+            ci_low=interval.lower,
+            ci_high=interval.upper,
+            trials_used=result.trials,
         ))
     return report
 
@@ -442,7 +465,11 @@ def stress_certify(code=None,
                    degrade_factor: float = 3.0,
                    fail_factor: float = 10.0,
                    include_structural: bool = True,
-                   progress: Optional[Callable[[str], None]] = None
+                   progress: Optional[Callable[[str], None]] = None,
+                   sequential: bool = False,
+                   alpha: float = 0.05,
+                   beta: float = 0.05,
+                   sequential_method: str = "sprt",
                    ) -> StressReport:
     """Sweep the gadget suite across the structured model family.
 
@@ -458,6 +485,16 @@ def stress_certify(code=None,
     (:func:`certify_phase_immunity`, exhaustive
     :func:`majority_burst_break_point`) are appended to the same
     report, so one call produces the full certification table.
+
+    With ``sequential=True`` each structured row runs a sequential
+    test (``sequential_method``, error rates ``alpha``/``beta``) of
+    "rate <= degrade boundary" against "rate >= fail boundary";
+    ``trials`` becomes the per-row budget *ceiling* and rows whose
+    claim is decided early stop there (``trials_used`` records the
+    spend).  An accepted claim is a PASS, a rejected one a FAIL, and
+    an undecided row falls back to the point-estimate classification
+    above.  Rows whose boundaries degenerate (e.g. a zero baseline
+    pushing both below resolution) silently use the fixed-budget path.
     """
     if code is None:
         code = SteaneCode()
@@ -476,29 +513,80 @@ def stress_certify(code=None,
         for model_name, model in family:
             if progress is not None:
                 progress(f"{case.name} x {model_name}")
-            result = run_monte_carlo(
-                gadget, initial, evaluator, model,
-                trials=trials, seed=seed, workers=1,
-            )
-            rate = result.failure_rate
-            if rate <= degrade_factor * allowance:
-                verdict = PASS
-            elif rate <= fail_factor * allowance:
-                verdict = DEGRADE
-            else:
-                verdict = FAIL
-            report.add(StressVerdict(
-                claim="graceful-degradation",
-                gadget=case.name,
-                model=model_name,
-                verdict=verdict,
-                failure_rate=rate,
-                baseline_rate=baseline.failure_rate,
-                detail=f"{result.failures}/{result.trials} failures "
-                       f"(allowance {degrade_factor * allowance:.4f})",
+            report.add(_degradation_row(
+                case.name, model_name, gadget, initial, evaluator,
+                model, baseline, allowance, trials=trials, seed=seed,
+                degrade_factor=degrade_factor,
+                fail_factor=fail_factor, sequential=sequential,
+                alpha=alpha, beta=beta, method=sequential_method,
             ))
     if include_structural:
         certify_phase_immunity(code, trials=trials, seed=seed,
                                report=report)
         majority_burst_break_point(k=2, report=report)
     return report
+
+
+def _degradation_row(case_name: str, model_name: str, gadget: Gadget,
+                     initial: SparseState,
+                     evaluator: Callable[[SparseState], bool],
+                     model: NoiseModel, baseline, allowance: float,
+                     *, trials: int, seed: int, degrade_factor: float,
+                     fail_factor: float, sequential: bool,
+                     alpha: float, beta: float,
+                     method: str) -> StressVerdict:
+    """One graceful-degradation row (fixed-budget or sequential)."""
+    p0 = min(max(degrade_factor * allowance, 1e-6), 0.49)
+    p1 = min(max(fail_factor * allowance, 2.0 * p0), 0.98)
+    use_sequential = sequential and p0 < p1 < 1.0
+    detail_extra = ""
+    if use_sequential:
+        from repro.analysis.sequential import (
+            run_sequential_monte_carlo,
+        )
+
+        outcome = run_sequential_monte_carlo(
+            gadget, initial, evaluator, model,
+            p0=p0, p1=p1, alpha=alpha, beta=beta,
+            max_trials=trials, seed=seed, method=method,
+            claim=f"{case_name} x {model_name} rate <= {p0:g}",
+        )
+        result = outcome.result
+        decision = outcome.verdict.decision
+        if decision == "accept":
+            verdict = PASS
+        elif decision == "reject":
+            verdict = FAIL
+        else:
+            verdict = None
+        detail_extra = (f"; sequential {decision} after "
+                        f"{result.trials}/{trials} trials")
+    else:
+        result = run_monte_carlo(
+            gadget, initial, evaluator, model,
+            trials=trials, seed=seed, workers=1,
+        )
+        verdict = None
+    rate = result.failure_rate
+    if verdict is None:
+        if rate <= degrade_factor * allowance:
+            verdict = PASS
+        elif rate <= fail_factor * allowance:
+            verdict = DEGRADE
+        else:
+            verdict = FAIL
+    interval = result.interval()
+    return StressVerdict(
+        claim="graceful-degradation",
+        gadget=case_name,
+        model=model_name,
+        verdict=verdict,
+        failure_rate=rate,
+        baseline_rate=baseline.failure_rate,
+        detail=f"{result.failures}/{result.trials} failures "
+               f"(allowance {degrade_factor * allowance:.4f})"
+               + detail_extra,
+        ci_low=interval.lower,
+        ci_high=interval.upper,
+        trials_used=result.trials,
+    )

@@ -26,6 +26,7 @@ from repro.simulators.sparse import SparseState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.engine import EngineStats, FaultPatternCache
+    from repro.analysis.stats import BinomialInterval, ClaimVerdict
 
 
 @dataclass
@@ -48,6 +49,16 @@ class ThresholdReport:
     single_fault_failures: int
     malignant_pairs: int
     engine_stats: Optional["EngineStats"] = field(
+        default=None, compare=False, repr=False,
+    )
+    #: Confidence interval on the sampled malignant fraction
+    #: (sampled reports only).
+    pair_interval: Optional["BinomialInterval"] = field(
+        default=None, compare=False, repr=False,
+    )
+    #: Sequential certification outcome for ``p_th >= p_target``
+    #: (only when ``certify_threshold_at=`` was requested).
+    threshold_verdict: Optional["ClaimVerdict"] = field(
         default=None, compare=False, repr=False,
     )
 
@@ -115,6 +126,11 @@ def sampled_threshold_report(gadget: Gadget,
                              checkpoint=None,
                              resume: bool = True,
                              runtime=None,
+                             certify_threshold_at: Optional[float] = None,
+                             alpha: float = 0.05,
+                             beta: float = 0.05,
+                             threshold_margin: float = 4.0,
+                             sequential_method: str = "sprt",
                              ) -> ThresholdReport:
     """Exact state-based counterpart of :func:`analyze_gadget`.
 
@@ -131,6 +147,17 @@ def sampled_threshold_report(gadget: Gadget,
     ``pairs`` subdirectories of the run directory, so a crashed report
     resumes mid-phase; ``runtime`` tunes supervision/fallback for
     both (see :func:`repro.analysis.engine.run_monte_carlo`).
+
+    ``certify_threshold_at=p_target`` switches the pair phase to a
+    sequential certification of the claim ``p_th >= p_target``
+    (equivalently: malignant fraction <= 1 / (p_target *
+    location_pairs)), run at error rates ``alpha``/``beta`` against
+    the alternative that the fraction is ``threshold_margin`` times
+    larger.  The run stops as soon as the claim is decided (``samples``
+    becomes the budget ceiling) and the typed verdict lands in
+    ``report.threshold_verdict``; requires an explicit ``seed``.
+    ``report.pair_interval`` always carries the malignant-fraction
+    confidence interval.
     """
     from repro.analysis import engine
     from repro.analysis.montecarlo import _default_locations
@@ -153,14 +180,56 @@ def sampled_threshold_report(gadget: Gadget,
         checkpoint=store.substore("exhaustive") if store else None,
         resume=resume, runtime=runtime,
     )
-    pair_sample = engine.run_malignant_pairs(
-        gadget, initial_state, evaluator, samples,
-        locations=locations, seed=seed, channel=channel,
-        workers=resolved_workers, chunk_size=resolved_chunk,
-        memoize=resolved_memoize, cache=cache,
-        checkpoint=store.substore("pairs") if store else None,
-        resume=resume, runtime=runtime,
-    )
+    threshold_verdict = None
+    if certify_threshold_at is not None:
+        from repro.analysis.sequential import (
+            run_sequential_pair_sampling,
+        )
+        from repro.exceptions import AnalysisError
+
+        pairs = len(locations) * (len(locations) - 1) // 2
+        if certify_threshold_at <= 0 or pairs == 0:
+            raise AnalysisError(
+                f"certify_threshold_at must be positive with >= 2 "
+                f"locations, got p_target={certify_threshold_at} over "
+                f"{len(locations)} locations"
+            )
+        if threshold_margin <= 1.0:
+            raise AnalysisError(
+                f"threshold_margin must exceed 1, got "
+                f"{threshold_margin}"
+            )
+        f0 = min(1.0 / (certify_threshold_at * pairs), 0.49)
+        f1 = min(threshold_margin * f0, 0.99)
+        if f1 <= f0:
+            raise AnalysisError(
+                f"degenerate certification boundaries f0={f0:g}, "
+                f"f1={f1:g}; pick a smaller p_target or margin"
+            )
+        sequential = run_sequential_pair_sampling(
+            gadget, initial_state, evaluator,
+            f0=f0, f1=f1, alpha=alpha, beta=beta,
+            max_samples=samples, seed=seed,
+            batch_size=resolved_chunk, method=sequential_method,
+            claim=(f"{gadget.name} p_th >= {certify_threshold_at:g} "
+                   f"(malignant_fraction <= {f0:g})"),
+            locations=locations, channel=channel,
+            workers=resolved_workers, memoize=resolved_memoize,
+            cache=cache,
+            checkpoint=store.substore("pairs") if store else None,
+            resume=resume, runtime=runtime,
+        )
+        pair_sample = sequential.sample
+        threshold_verdict = sequential.verdict
+    else:
+        pair_sample = engine.run_malignant_pairs(
+            gadget, initial_state, evaluator, samples,
+            locations=locations, seed=seed, channel=channel,
+            workers=resolved_workers, chunk_size=resolved_chunk,
+            memoize=resolved_memoize, cache=cache,
+            checkpoint=store.substore("pairs") if store else None,
+            resume=resume, runtime=runtime,
+        )
     counts = {"input": 0, "gate": 0, "delay": 0}
     for location in locations:
         counts[location.kind] += 1
@@ -173,4 +242,6 @@ def sampled_threshold_report(gadget: Gadget,
         single_fault_failures=len(survey.failures),
         malignant_pairs=int(round(pair_sample.estimated_malignant_pairs)),
         engine_stats=stats,
+        pair_interval=pair_sample.interval(),
+        threshold_verdict=threshold_verdict,
     )

@@ -103,6 +103,90 @@ class TestMonteCarloResultEdges:
         assert result.failure_rate == 0.0
 
 
+class TestResultIntervals:
+    """The certified-interval methods that replace +-stderr bands."""
+
+    def test_interval_matches_stats_layer(self):
+        from repro.analysis import binomial_interval
+
+        result = GadgetMonteCarloResult(
+            p=0.1, trials=200, failures=7,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        assert result.interval() == binomial_interval(7, 200)
+        assert result.interval(0.99, "clopper-pearson") == \
+            binomial_interval(7, 200, 0.99, "clopper-pearson")
+        assert result.interval().contains(result.failure_rate)
+
+    def test_zero_failures_interval_is_informative(self):
+        result = GadgetMonteCarloResult(
+            p=0.01, trials=1000, failures=0,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        interval = result.interval()
+        assert interval.lower == 0.0
+        assert 0.0 < interval.upper < 0.01
+
+    def test_upper_bound_tracks_rule_of_three(self):
+        from repro.analysis import rule_of_three_upper
+
+        result = GadgetMonteCarloResult(
+            p=0.01, trials=1000, failures=0,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        bound = result.failure_rate_upper_bound()
+        # One-sided CP at 0 failures IS the rule of three.
+        assert bound == pytest.approx(rule_of_three_upper(1000),
+                                      rel=1e-9)
+        assert bound >= result.failure_rate
+
+    def test_upper_bound_edges(self):
+        empty = GadgetMonteCarloResult(
+            p=0.1, trials=0, failures=0,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        assert empty.failure_rate_upper_bound() == 1.0
+        full = GadgetMonteCarloResult(
+            p=0.1, trials=50, failures=50,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        assert full.failure_rate_upper_bound() == 1.0
+
+    def test_stderr_alias_matches_interval_stderr(self):
+        from repro.analysis import interval_stderr
+
+        result = GadgetMonteCarloResult(
+            p=0.1, trials=400, failures=123,
+            failures_by_fault_count={}, fault_count_histogram={},
+        )
+        assert result.stderr == interval_stderr(123, 400)
+
+
+class TestPairSampleIntervals:
+    def test_fraction_interval(self):
+        sample = MalignantPairSample(samples=500, malignant=25,
+                                     num_locations=20)
+        interval = sample.interval()
+        assert interval.contains(0.05)
+        assert interval.trials == 500
+
+    def test_threshold_interval_brackets_estimate(self):
+        sample = MalignantPairSample(samples=500, malignant=25,
+                                     num_locations=20)
+        lower, upper = sample.threshold_interval()
+        assert lower is not None and upper is not None
+        assert lower < sample.threshold_estimate < upper
+
+    def test_threshold_interval_zero_malignant(self):
+        # Fraction interval reaches 0: a safe threshold *floor* exists
+        # (from the fraction's upper bound) but no finite ceiling.
+        sample = MalignantPairSample(samples=500, malignant=0,
+                                     num_locations=20)
+        lower, upper = sample.threshold_interval()
+        assert lower is not None and lower > 0.0
+        assert upper is None
+
+
 class TestMalignantPairSampleEdges:
     def test_zero_samples_statistics(self):
         sample = MalignantPairSample(samples=0, malignant=0,

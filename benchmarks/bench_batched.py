@@ -1,0 +1,133 @@
+"""E8 — batched evaluation speedup on the threshold workloads.
+
+The malignant-pair sweep behind the paper's Sec. 4.2 threshold
+estimate is evaluation-dominated: every sampled pair is a distinct
+two-fault pattern, so memoization barely helps and the serial path
+pays full per-gate Python dispatch per sample.  This bench measures
+the lane-stacked :mod:`repro.simulators.batched` path on exactly that
+workload (plus a no-memoize Monte-Carlo sweep), asserts the >= 2x
+acceptance bar at full scale, re-checks result equality while timing,
+and emits ``results/BENCH_batched.json`` for CI.
+
+Scale down with ``BENCH_BATCHED_SAMPLES`` for smoke runs (the speedup
+assertion only applies at full scale).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import n_gadget_evaluator
+from repro.analysis.engine import run_malignant_pairs, run_monte_carlo
+from repro.analysis.montecarlo import _default_locations
+from repro.codes import SteaneCode
+from repro.ft import build_n_gadget, sparse_coset_state
+from repro.noise import NoiseModel
+
+from _harness import engine_stats_lines, json_artifact, report
+
+#: Full-scale workload; the >= 2x assertion applies at full scale only.
+SAMPLES = int(os.environ.get("BENCH_BATCHED_SAMPLES", "3000"))
+BATCH_SIZE = 64
+_FULL_SCALE = SAMPLES >= 2000
+
+
+def _steane_n():
+    code = SteaneCode()
+    gadget = build_n_gadget(code, variant="direct")
+    initial = gadget.initial_state(
+        {"quantum": sparse_coset_state(code, 0)}
+    )
+    evaluator = n_gadget_evaluator(gadget, code, 0)
+    return gadget, initial, evaluator
+
+
+def test_batched_speedup(benchmark):
+    """Serial vs lane-stacked evaluation on the threshold sweep."""
+    gadget, initial, evaluator = _steane_n()
+    locations = _default_locations(gadget)
+    noise = NoiseModel.uniform(0.002)
+    mc_trials = SAMPLES * 2
+
+    def run_experiment():
+        timings = {}
+
+        start = time.perf_counter()
+        pairs_serial = run_malignant_pairs(
+            gadget, initial, evaluator, samples=SAMPLES, seed=71,
+            locations=locations)
+        timings["pairs_serial"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        pairs_batched = run_malignant_pairs(
+            gadget, initial, evaluator, samples=SAMPLES, seed=71,
+            locations=locations, batch_size=BATCH_SIZE)
+        timings["pairs_batched"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mc_serial = run_monte_carlo(
+            gadget, initial, evaluator, noise, trials=mc_trials,
+            seed=72, locations=locations, memoize=False)
+        timings["mc_serial"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mc_batched = run_monte_carlo(
+            gadget, initial, evaluator, noise, trials=mc_trials,
+            seed=72, locations=locations, memoize=False,
+            batch_size=BATCH_SIZE)
+        timings["mc_batched"] = time.perf_counter() - start
+
+        return timings, pairs_serial, pairs_batched, mc_serial, \
+            mc_batched
+
+    timings, pairs_serial, pairs_batched, mc_serial, mc_batched = \
+        benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    # Speedups are meaningless if the results differ — check first.
+    assert pairs_batched == pairs_serial
+    assert mc_batched == mc_serial
+
+    pairs_speedup = timings["pairs_serial"] / timings["pairs_batched"]
+    mc_speedup = timings["mc_serial"] / timings["mc_batched"]
+    stats = pairs_batched.engine_stats
+
+    report("E8 — batched evaluation speedup (threshold workloads)", [
+        f"workload: {gadget.name}, {len(locations)} locations, "
+        f"batch_size={BATCH_SIZE}",
+        f"malignant pairs ({SAMPLES} samples): "
+        f"serial {timings['pairs_serial']:.2f}s, "
+        f"batched {timings['pairs_batched']:.2f}s "
+        f"-> {pairs_speedup:.2f}x",
+        f"monte carlo, no memoize ({mc_trials} trials): "
+        f"serial {timings['mc_serial']:.2f}s, "
+        f"batched {timings['mc_batched']:.2f}s "
+        f"-> {mc_speedup:.2f}x",
+        f"equivalence: pairs malignant={pairs_serial.malignant}, "
+        f"mc failures={mc_serial.failures} (both paths identical)",
+        "",
+        *engine_stats_lines(stats),
+    ])
+
+    path = json_artifact("BENCH_batched.json", {
+        "workload": gadget.name,
+        "batch_size": BATCH_SIZE,
+        "samples": SAMPLES,
+        "mc_trials": mc_trials,
+        "timings_seconds": {k: round(v, 4)
+                            for k, v in timings.items()},
+        "pairs_speedup": round(pairs_speedup, 2),
+        "mc_speedup": round(mc_speedup, 2),
+        "results_identical": True,
+        "batched_stats": {
+            "batches": stats.batched_batches,
+            "evaluations": stats.batched_evaluations,
+            "fallbacks": stats.batched_fallbacks,
+        },
+        "full_scale": _FULL_SCALE,
+    })
+    assert os.path.exists(path)
+    if _FULL_SCALE:
+        assert pairs_speedup >= 2.0, (
+            f"batched threshold sweep only {pairs_speedup:.2f}x"
+        )

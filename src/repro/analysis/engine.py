@@ -74,7 +74,11 @@ from typing import (
 import numpy as np
 
 from repro.circuits.pauli import PauliString
-from repro.exceptions import AnalysisError
+from repro.exceptions import (
+    AnalysisError,
+    SimulationError,
+    VerificationError,
+)
 from repro.ft.gadget import Gadget, apply_circuit_with_faults
 from repro.noise.locations import FaultLocation
 from repro.noise.model import NoiseModel
@@ -82,6 +86,11 @@ from repro.runtime.checkpoint import CheckpointStore, as_store
 from repro.runtime.fallback import FallbackRecord
 from repro.runtime.policy import RuntimePolicy, resolve_policy
 from repro.runtime.supervisor import Supervisor
+from repro.simulators.batched import (
+    BATCHED_PATH,
+    SERIAL_PATH,
+    evaluate_fault_patterns_batched,
+)
 from repro.simulators.sparse import SparseState
 
 #: One concrete fault: (pauli, after_op) exactly as the injector takes it.
@@ -158,6 +167,28 @@ def _coerce_chunk_size(value) -> int:
     return value
 
 
+def _coerce_batch_size(value) -> int:
+    """Strictly validate the evaluation ``batch_size`` knob.
+
+    Unlike ``chunk_size`` this is *not* part of the determinism
+    contract — verdicts are bit-identical for every batch size — but a
+    silent rounding would still hide a corrupted config, so it gets
+    the same strict treatment.
+    """
+    if isinstance(value, bool) or not isinstance(
+            value, (int, np.integer)):
+        raise AnalysisError(
+            f"batch_size must be a positive integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    value = int(value)
+    if value < 1:
+        raise AnalysisError(
+            f"batch_size must be >= 1, got {value}"
+        )
+    return value
+
+
 def _coerce_workers(value) -> int:
     """Strictly validate an explicit worker count."""
     if isinstance(value, bool) or not isinstance(
@@ -224,19 +255,30 @@ def evaluate_fault_pattern(gadget: Gadget, initial_state: SparseState,
 
 
 class FaultPatternCache:
-    """Memoised verdicts keyed by canonical fault pattern.
+    """Memoised verdicts keyed by (evaluation path, canonical pattern).
 
     Verdicts depend only on the fault pattern (the gadget, input state
     and evaluator are fixed per cache), not on the error rate p, so
     one cache can be shared across an entire p sweep.
 
+    Keys carry the evaluation path (:data:`~repro.simulators.batched.
+    SERIAL_PATH` or :data:`~repro.simulators.batched.BATCHED_PATH`) so
+    a batched run never silently replays a serial-cached verdict — the
+    paths are proved equivalent by the differential suite, but the
+    cache refuses to *assume* it: each path revalidates its own
+    verdicts, keeping a cross-path disagreement observable instead of
+    papered over.  ``get``/``store``/``contains``/``__contains__``
+    default to the serial path, preserving every pre-existing caller.
+
     The cache is LRU-bounded: ``max_entries`` (default generous —
     :data:`DEFAULT_CACHE_MAX_ENTRIES`) caps memory on unbounded
     campaigns, evicting the least-recently-used verdict and counting
-    it in :attr:`evictions`.  Eviction is invisible to correctness —
-    an evicted pattern is simply re-simulated on next request —
-    and surfaces in :class:`EngineStats` so capped runs are
-    diagnosable.  ``max_entries=None`` disables the bound.
+    it in :attr:`evictions`.  The same pattern cached under both paths
+    occupies two entries and ages independently.  Eviction is
+    invisible to correctness — an evicted pattern is simply
+    re-simulated on next request — and surfaces in
+    :class:`EngineStats` so capped runs are diagnosable.
+    ``max_entries=None`` disables the bound.
     """
 
     def __init__(self, max_entries: Optional[int]
@@ -254,8 +296,8 @@ class FaultPatternCache:
                     f"max_entries must be >= 1, got {max_entries}"
                 )
         self.max_entries = max_entries
-        self._verdicts: "OrderedDict[FaultPattern, bool]" = \
-            OrderedDict()
+        self._verdicts: "OrderedDict[Tuple[str, FaultPattern], bool]" \
+            = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -264,24 +306,44 @@ class FaultPatternCache:
         return len(self._verdicts)
 
     def __contains__(self, pattern: FaultPattern) -> bool:
-        return pattern in self._verdicts
+        return (SERIAL_PATH, pattern) in self._verdicts
 
-    def get(self, pattern: FaultPattern) -> Optional[bool]:
-        verdict = self._verdicts.get(pattern)
-        if verdict is not None or pattern in self._verdicts:
-            self._verdicts.move_to_end(pattern)
+    def contains(self, pattern: FaultPattern,
+                 path: str = SERIAL_PATH) -> bool:
+        return (path, pattern) in self._verdicts
+
+    def get(self, pattern: FaultPattern,
+            path: str = SERIAL_PATH) -> Optional[bool]:
+        key = (path, pattern)
+        verdict = self._verdicts.get(key)
+        if verdict is not None or key in self._verdicts:
+            self._verdicts.move_to_end(key)
         return verdict
 
-    def store(self, pattern: FaultPattern, verdict: bool) -> None:
-        self._verdicts[pattern] = bool(verdict)
-        self._verdicts.move_to_end(pattern)
+    def store(self, pattern: FaultPattern, verdict: bool,
+              path: str = SERIAL_PATH) -> None:
+        key = (path, pattern)
+        self._verdicts[key] = bool(verdict)
+        self._verdicts.move_to_end(key)
         if self.max_entries is not None:
             while len(self._verdicts) > self.max_entries:
                 self._verdicts.popitem(last=False)
                 self.evictions += 1
 
     def items(self):
-        """(pattern, verdict) pairs, least-recently-used first."""
+        """(pattern, verdict) pairs, least-recently-used first.
+
+        Kept path-agnostic for backward compatibility: yields every
+        entry's pattern with its verdict (a pattern cached under both
+        paths appears twice).  Use :meth:`items_with_paths` for the
+        full keys.
+        """
+        return (((pattern, verdict) for (_, pattern), verdict
+                 in self._verdicts.items()))
+
+    def items_with_paths(self):
+        """((path, pattern), verdict) pairs, least-recently-used
+        first."""
         return self._verdicts.items()
 
     def clear(self) -> None:
@@ -343,6 +405,10 @@ class EngineStats:
     invariant_retries: int = 0
     cache_evictions: int = 0
     resumed_verdicts: int = 0
+    # -- batched-path accounting (repro.simulators.batched) ---------
+    batched_batches: int = 0       # stacked simulations run
+    batched_evaluations: int = 0   # verdicts produced by the stack
+    batched_fallbacks: int = 0     # patterns degraded to serial
 
     @property
     def cache_hit_rate(self) -> float:
@@ -392,6 +458,9 @@ class EngineStats:
         self.invariant_retries += other.invariant_retries
         self.cache_evictions += other.cache_evictions
         self.resumed_verdicts += other.resumed_verdicts
+        self.batched_batches += other.batched_batches
+        self.batched_evaluations += other.batched_evaluations
+        self.batched_fallbacks += other.batched_fallbacks
 
     def summary_lines(self) -> List[str]:
         """Human-readable block for benchmark reports."""
@@ -407,6 +476,12 @@ class EngineStats:
             f"evaluate {self.eval_seconds:.2f}s, "
             f"worker utilization {100 * self.worker_utilization:.0f}%",
         ]
+        if self.batched_batches or self.batched_fallbacks:
+            lines.append(
+                f"  batched: {self.batched_evaluations} verdicts in "
+                f"{self.batched_batches} stacked batches, "
+                f"{self.batched_fallbacks} fell back to serial"
+            )
         incidents = (self.retries or self.hung_chunks
                      or self.worker_errors or self.pool_restarts
                      or self.quarantined_chunks or self.degraded_total
@@ -451,12 +526,19 @@ class _EvalContext:
                  evaluator: Callable[[SparseState], bool],
                  invariant: Optional[Callable[[SparseState], None]]
                  = None,
-                 policy: Optional[RuntimePolicy] = None) -> None:
+                 policy: Optional[RuntimePolicy] = None,
+                 batch_size: int = 1) -> None:
         self.gadget = gadget
         self.initial_state = initial_state
         self.evaluator = evaluator
         self.invariant = invariant
         self.policy = resolve_policy(policy)
+        self.batch_size = batch_size
+
+    @property
+    def eval_path(self) -> str:
+        """Cache/fingerprint marker for this context's evaluation path."""
+        return BATCHED_PATH if self.batch_size > 1 else SERIAL_PATH
 
     def evaluate(self, pattern: FaultPattern) -> bool:
         """Plain single-pattern evaluation (no chaos coordinates)."""
@@ -499,15 +581,63 @@ def _evaluate_chunk(context: _EvalContext, index: int,
     if chaos is not None and in_worker:
         chaos.on_chunk_start(index, attempt, in_worker=True)
     record = FallbackRecord()
-    verdicts = [context.evaluate_one(pattern, record, index, attempt,
-                                     in_worker)
-                for pattern in patterns]
-    resilience = {
-        "degraded": dict(record.degraded),
-        "invariant_retries": record.invariant_retries,
-    }
+    resilience: Dict[str, object]
+    if context.batch_size > 1:
+        verdicts, resilience = _evaluate_chunk_batched(
+            context, patterns, record, index, attempt, in_worker)
+    else:
+        verdicts = [context.evaluate_one(pattern, record, index,
+                                         attempt, in_worker)
+                    for pattern in patterns]
+        resilience = {}
+    resilience["degraded"] = dict(record.degraded)
+    resilience["invariant_retries"] = record.invariant_retries
     return (index, verdicts, time.perf_counter() - start, os.getpid(),
             resilience)
+
+
+def _evaluate_chunk_batched(context: _EvalContext,
+                            patterns: Sequence[FaultPattern],
+                            record: FallbackRecord, index: int,
+                            attempt: int, in_worker: bool
+                            ) -> Tuple[List[bool], Dict[str, object]]:
+    """One chunk's verdicts through the stacked batched evaluator.
+
+    Patterns are sliced into ``batch_size`` stacks; a stack that the
+    batched path cannot handle — register too wide for the lane bits
+    (``SimulationError``), out of memory, or an invariant violation
+    that needs the retry-once shield — degrades to the serial
+    per-pattern ladder of :meth:`_EvalContext.evaluate_one`, exactly
+    the rung structure a serial run would use.  Verdict values are
+    unaffected either way (the lanes are bit-identical to serial
+    evolution); only the accounting differs, surfaced through the
+    ``batched_*`` counters of :class:`EngineStats`.
+    """
+    verdicts: List[bool] = []
+    batches = 0
+    stacked = 0
+    fallbacks = 0
+    for lo in range(0, len(patterns), context.batch_size):
+        stack = patterns[lo:lo + context.batch_size]
+        try:
+            stack_verdicts = evaluate_fault_patterns_batched(
+                context.gadget, context.initial_state,
+                context.evaluator, stack, invariant=context.invariant)
+            batches += 1
+            stacked += len(stack)
+        except (MemoryError, SimulationError, VerificationError):
+            stack_verdicts = [
+                context.evaluate_one(pattern, record, index, attempt,
+                                     in_worker)
+                for pattern in stack
+            ]
+            fallbacks += len(stack)
+        verdicts.extend(stack_verdicts)
+    return verdicts, {
+        "batched_batches": batches,
+        "batched_evaluations": stacked,
+        "batched_fallbacks": fallbacks,
+    }
 
 
 def _eval_chunk(task: Tuple[int, List[FaultPattern], int]
@@ -574,6 +704,12 @@ def _evaluate_patterns(context: _EvalContext,
                     stats.degraded_evaluations.get(backend, 0) + count
             stats.invariant_retries += \
                 int(resilience.get("invariant_retries", 0))
+            stats.batched_batches += \
+                int(resilience.get("batched_batches", 0))
+            stats.batched_evaluations += \
+                int(resilience.get("batched_evaluations", 0))
+            stats.batched_fallbacks += \
+                int(resilience.get("batched_fallbacks", 0))
         if journal is not None:
             journal.append_verdicts(
                 zip(patterns[lo:hi], chunk_verdicts))
@@ -641,21 +777,24 @@ def _resolve_verdicts(context: _EvalContext,
     stats.requests += requests
     stats.distinct_patterns += len(pattern_counts)
     verdict_map: Dict[FaultPattern, bool] = {}
+    path = context.eval_path
     if memoize:
         evictions_before = cache.evictions if cache is not None else 0
         missing = [pattern for pattern in pattern_counts
-                   if cache is None or pattern not in cache]
+                   if cache is None or not cache.contains(pattern,
+                                                          path)]
         if cache is not None:
             for pattern in pattern_counts:
-                if pattern in cache:
-                    verdict_map[pattern] = bool(cache.get(pattern))
+                if cache.contains(pattern, path):
+                    verdict_map[pattern] = bool(
+                        cache.get(pattern, path))
         verdicts = _evaluate_patterns(context, missing, workers,
                                       chunk_size, stats, progress,
                                       journal=journal)
         for pattern, verdict in zip(missing, verdicts):
             verdict_map[pattern] = verdict
             if cache is not None:
-                cache.store(pattern, verdict)
+                cache.store(pattern, verdict, path)
         stats.evaluations += len(missing)
         stats.cache_hits += requests - len(missing)
         if cache is not None:
@@ -826,6 +965,7 @@ def _open_journal(checkpoint, resume: bool, seed: Optional[int],
                   fingerprint: Dict[str, object],
                   stats: EngineStats,
                   needs_seed: bool = True,
+                  eval_path: str = SERIAL_PATH,
                   ) -> Tuple[Optional[CheckpointStore],
                              Optional[FaultPatternCache]]:
     """Shared ``checkpoint=``/``resume=`` handling for the run_* entry
@@ -836,6 +976,11 @@ def _open_journal(checkpoint, resume: bool, seed: Optional[int],
     did not supply one.  On resume the journal's verdicts are
     replayed into the cache after the fingerprint check; on a fresh
     run the directory is cleared and a new header written.
+
+    ``eval_path`` routes replayed verdicts to the run's own cache
+    path.  The fingerprint already refuses cross-path resumes (the
+    caller stamps ``eval_path`` into it for batched runs), so a
+    journal's verdicts always re-enter the path that produced them.
     """
     store = as_store(checkpoint)
     if store is None:
@@ -856,7 +1001,7 @@ def _open_journal(checkpoint, resume: bool, seed: Optional[int],
         store.check_fingerprint(fingerprint)
         entries = store.load_verdicts()
         for pattern, verdict in entries:
-            cache.store(pattern, verdict)
+            cache.store(pattern, verdict, eval_path)
         stats.resumed_verdicts = len(entries)
     else:
         store.clear()
@@ -873,6 +1018,7 @@ def run_monte_carlo(gadget: Gadget,
                     seed: Optional[int] = None,
                     workers: int = 1,
                     chunk_size: int = DEFAULT_CHUNK_SIZE,
+                    batch_size: int = 1,
                     memoize: bool = True,
                     cache: Optional[FaultPatternCache] = None,
                     progress: Optional[Callable[[ProgressEvent], None]]
@@ -887,7 +1033,18 @@ def run_monte_carlo(gadget: Gadget,
     Returns a :class:`~repro.analysis.montecarlo.GadgetMonteCarloResult`
     with ``engine_stats`` attached.  For a fixed ``(seed, trials,
     chunk_size)`` the result is bit-identical for every ``workers``
-    value and for ``memoize`` on or off.
+    value, every ``batch_size`` and for ``memoize`` on or off.
+
+    ``batch_size > 1`` routes evaluation through the vectorised
+    :mod:`repro.simulators.batched` path: up to ``batch_size`` distinct
+    patterns are stacked into one sparse register and advanced
+    together, with per-lane amplitudes bit-identical to serial
+    evolution.  Sampling, dedup, seeds and verdicts are unchanged; an
+    unbatchable stack degrades automatically to the serial
+    :class:`~repro.runtime.FallbackPolicy` ladder (counted in
+    ``engine_stats.batched_fallbacks``).  Checkpoint fingerprints gain
+    an ``eval_path`` marker for batched runs, so a journal written by
+    one path refuses to silently resume under the other.
 
     ``invariant`` enables validation mode: every fresh simulation's
     final state is passed to the callable, which raises
@@ -923,6 +1080,7 @@ def run_monte_carlo(gadget: Gadget,
     trials = _coerce_count(trials, "trials")
     workers = _coerce_workers(workers)
     chunk_size = _coerce_chunk_size(chunk_size)
+    batch_size = _coerce_batch_size(batch_size)
     stats = EngineStats(trials=trials, workers=1)
     fingerprint = {
         "workload": "monte_carlo",
@@ -941,8 +1099,14 @@ def run_monte_carlo(gadget: Gadget,
         # fingerprints stay exactly as before so existing journals
         # keep resuming.
         fingerprint["model"] = repr(noise.fingerprint())
-    store, cache = _open_journal(checkpoint, resume, seed, memoize,
-                                 cache, fingerprint, stats)
+    if batch_size > 1:
+        # Serial fingerprints stay byte-identical to before (existing
+        # journals keep resuming); batched runs are marked so a
+        # journal never silently swaps evaluation paths.
+        fingerprint["eval_path"] = BATCHED_PATH
+    store, cache = _open_journal(
+        checkpoint, resume, seed, memoize, cache, fingerprint, stats,
+        eval_path=BATCHED_PATH if batch_size > 1 else SERIAL_PATH)
     probs, choices, after_ops = _location_setup(noise, gadget, locations)
 
     histogram: Dict[int, int] = {}
@@ -972,7 +1136,8 @@ def run_monte_carlo(gadget: Gadget,
         })
 
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant, policy=runtime)
+                           invariant=invariant, policy=runtime,
+                           batch_size=batch_size)
     try:
         verdict_map = _resolve_verdicts(context, pattern_counts,
                                         memoize, cache, workers,
@@ -1024,6 +1189,7 @@ def run_malignant_pairs(gadget: Gadget,
                         channel: str = "depolarizing",
                         workers: int = 1,
                         chunk_size: int = DEFAULT_CHUNK_SIZE,
+                        batch_size: int = 1,
                         memoize: bool = True,
                         cache: Optional[FaultPatternCache] = None,
                         progress: Optional[Callable[[ProgressEvent], None]]
@@ -1035,8 +1201,10 @@ def run_malignant_pairs(gadget: Gadget,
                         runtime: Optional[RuntimePolicy] = None):
     """Engine-scheduled equivalent of ``sample_malignant_pairs``.
 
-    ``invariant``, ``checkpoint``/``resume`` and ``runtime`` behave as
-    in :func:`run_monte_carlo`.
+    ``invariant``, ``checkpoint``/``resume``, ``runtime`` and
+    ``batch_size`` behave as in :func:`run_monte_carlo`.  Pair
+    patterns are mostly distinct, so this workload is
+    evaluation-dominated and gains the most from ``batch_size > 1``.
     """
     from repro.analysis.montecarlo import (
         MalignantPairSample,
@@ -1054,6 +1222,7 @@ def run_malignant_pairs(gadget: Gadget,
         )
     workers = _coerce_workers(workers)
     chunk_size = _coerce_chunk_size(chunk_size)
+    batch_size = _coerce_batch_size(batch_size)
     stats = EngineStats(trials=samples, workers=1)
     fingerprint = {
         "workload": "malignant_pairs",
@@ -1064,8 +1233,11 @@ def run_malignant_pairs(gadget: Gadget,
         "chunk_size": chunk_size,
         "channel": channel,
     }
-    store, cache = _open_journal(checkpoint, resume, seed, memoize,
-                                 cache, fingerprint, stats)
+    if batch_size > 1:
+        fingerprint["eval_path"] = BATCHED_PATH
+    store, cache = _open_journal(
+        checkpoint, resume, seed, memoize, cache, fingerprint, stats,
+        eval_path=BATCHED_PATH if batch_size > 1 else SERIAL_PATH)
     model = NoiseModel.uniform(1.0, channel=channel)
     _, choices, after_ops = _location_setup(model, gadget, locations)
 
@@ -1094,7 +1266,8 @@ def run_malignant_pairs(gadget: Gadget,
         })
 
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant, policy=runtime)
+                           invariant=invariant, policy=runtime,
+                           batch_size=batch_size)
     try:
         verdict_map = _resolve_verdicts(context, pattern_counts,
                                         memoize, cache, workers,
@@ -1129,6 +1302,7 @@ def run_exhaustive(gadget: Gadget,
                    channel: str = "depolarizing",
                    workers: int = 1,
                    chunk_size: int = DEFAULT_CHUNK_SIZE,
+                   batch_size: int = 1,
                    memoize: bool = True,
                    cache: Optional[FaultPatternCache] = None,
                    progress: Optional[Callable[[ProgressEvent], None]]
@@ -1157,6 +1331,7 @@ def run_exhaustive(gadget: Gadget,
     locations = list(locations)
     workers = _coerce_workers(workers)
     chunk_size = _coerce_chunk_size(chunk_size)
+    batch_size = _coerce_batch_size(batch_size)
     model = NoiseModel.uniform(1.0, channel=channel)
 
     items: List[Tuple[FaultLocation, PauliString, FaultPattern]] = []
@@ -1173,14 +1348,18 @@ def run_exhaustive(gadget: Gadget,
         "chunk_size": chunk_size,
         "channel": channel,
     }
-    store, cache = _open_journal(checkpoint, resume, None, memoize,
-                                 cache, fingerprint, stats,
-                                 needs_seed=False)
+    if batch_size > 1:
+        fingerprint["eval_path"] = BATCHED_PATH
+    store, cache = _open_journal(
+        checkpoint, resume, None, memoize, cache, fingerprint, stats,
+        needs_seed=False,
+        eval_path=BATCHED_PATH if batch_size > 1 else SERIAL_PATH)
     pattern_counts: Dict[FaultPattern, int] = {}
     for _, _, key in items:
         pattern_counts[key] = pattern_counts.get(key, 0) + 1
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant, policy=runtime)
+                           invariant=invariant, policy=runtime,
+                           batch_size=batch_size)
     try:
         verdict_map = _resolve_verdicts(context, pattern_counts,
                                         memoize, cache, workers,

@@ -39,6 +39,7 @@ the identical fault stream — proven by the chaos tests in
 from __future__ import annotations
 
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -59,11 +60,14 @@ from repro.runtime.policy import RuntimePolicy
 from repro.simulators.sparse import SparseState
 
 from repro.analysis.engine import (
+    BATCHED_PATH,
     DEFAULT_CHUNK_SIZE,
+    SERIAL_PATH,
     EngineStats,
     FaultPattern,
     FaultPatternCache,
     ProgressEvent,
+    _coerce_batch_size,
     _coerce_chunk_size,
     _coerce_count,
     _coerce_workers,
@@ -150,6 +154,8 @@ def run_sequential_monte_carlo(
         claim: Optional[str] = None,
         locations: Optional[Sequence[FaultLocation]] = None,
         workers: int = 1,
+        eval_batch_size: int = 1,
+        prefetch: bool = False,
         memoize: bool = True,
         cache: Optional[FaultPatternCache] = None,
         invariant: Optional[Callable[[SparseState], None]] = None,
@@ -178,6 +184,21 @@ def run_sequential_monte_carlo(
     ``checkpoint``/``resume`` journal completed batches and verdicts;
     a killed run resumed from the journal reaches the identical
     verdict, trial count and fault stream as an uninterrupted one.
+
+    ``eval_batch_size > 1`` evaluates each batch's distinct patterns
+    through the vectorised :mod:`repro.simulators.batched` stack
+    (named to avoid colliding with ``batch_size``, which here is the
+    *sampling* chunk size and part of the seed contract).  Verdicts,
+    SPRT decisions and journals are bit-identical either way; batched
+    journals carry an ``eval_path`` fingerprint marker so a resume
+    never silently swaps paths.
+
+    ``prefetch=True`` pipelines batch ``b+1``'s fault sampling on a
+    helper thread while batch ``b`` evaluates — safe because chunk
+    streams are independent per batch and a prefetched draw is
+    discarded unused if the test stops first.  Off by default: with
+    ``workers > 1`` the evaluation pool forks while the sampler
+    thread may be running, which is best opted into knowingly.
     """
     start = time.perf_counter()
     if not noise.samplable:
@@ -197,6 +218,7 @@ def run_sequential_monte_carlo(
             f"max_trials must be >= 1, got {max_trials}"
         )
     batch_size = _coerce_chunk_size(batch_size)
+    eval_batch_size = _coerce_batch_size(eval_batch_size)
     workers = _coerce_workers(workers)
     if locations is None:
         locations = _default_locations(gadget)
@@ -222,18 +244,23 @@ def run_sequential_monte_carlo(
     }
     if noise.structured:
         fingerprint["model"] = repr(noise.fingerprint())
+    if eval_batch_size > 1:
+        fingerprint["eval_path"] = BATCHED_PATH
     if not memoize and checkpoint is not None:
         raise AnalysisError(
             "checkpointing requires memoize=True (the journal replays "
             "verdicts through the fault-pattern cache)"
         )
+    eval_path = BATCHED_PATH if eval_batch_size > 1 else SERIAL_PATH
     store, cache = _open_journal(checkpoint, resume, seed, memoize,
-                                 cache, fingerprint, stats)
+                                 cache, fingerprint, stats,
+                                 eval_path=eval_path)
     probs, choices, after_ops = _location_setup(noise, gadget,
                                                 locations)
     stream_key = noise.stream_key()
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant, policy=runtime)
+                           invariant=invariant, policy=runtime,
+                           batch_size=eval_batch_size)
 
     histogram: Dict[int, int] = {}
     failures_by_count: Dict[int, int] = {}
@@ -256,20 +283,53 @@ def run_sequential_monte_carlo(
             test.update(int(record["failures"]), int(record["length"]))
             batch_index = int(record["batch"]) + 1
 
+    def _draw_batch(
+            index: int, length: int,
+    ) -> Tuple[Dict[int, int], Dict[FaultPattern, int], float]:
+        """Sample one batch's fault stream.
+
+        Thread-safe by construction: every call builds its own rng
+        from the batch's chunk seed and writes only local dicts, so
+        the prefetch thread and the main loop never share state.
+        """
+        rng = np.random.default_rng(
+            chunk_seed_sequence(seed, index, stream_key=stream_key))
+        draw_start = time.perf_counter()
+        drawn_histogram: Dict[int, int] = {}
+        drawn_patterns: Dict[FaultPattern, int] = {}
+        sample_fault_chunk(noise, gadget, locations, probs,
+                           choices, after_ops, rng, length,
+                           drawn_histogram, drawn_patterns)
+        return (drawn_histogram, drawn_patterns,
+                time.perf_counter() - draw_start)
+
+    executor: Optional[ThreadPoolExecutor] = None
+    if prefetch:
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-sample-prefetch")
+    pending: Optional[Tuple[int, Future]] = None
     try:
         while (test.decision is None and consumed < max_trials):
             length = min(batch_size, max_trials - consumed)
-            rng = np.random.default_rng(
-                chunk_seed_sequence(seed, batch_index,
-                                    stream_key=stream_key))
-            sample_start = time.perf_counter()
-            batch_histogram: Dict[int, int] = {}
-            batch_patterns: Dict[FaultPattern, int] = {}
-            sample_fault_chunk(noise, gadget, locations, probs,
-                               choices, after_ops, rng, length,
-                               batch_histogram, batch_patterns)
-            stats.sample_seconds += time.perf_counter() - sample_start
+            if pending is not None and pending[0] == batch_index:
+                batch_histogram, batch_patterns, sampled = \
+                    pending[1].result()
+            else:
+                batch_histogram, batch_patterns, sampled = \
+                    _draw_batch(batch_index, length)
+            pending = None
+            stats.sample_seconds += sampled
             stats.chunks += 1
+            if executor is not None:
+                # Overlap the next batch's sampling with this batch's
+                # evaluation.  Length is fixed now (consumed is not
+                # yet advanced, so next = max_trials-consumed-length);
+                # if the test decides first the draw is discarded.
+                next_length = min(batch_size,
+                                  max_trials - consumed - length)
+                if next_length > 0:
+                    pending = (batch_index + 1, executor.submit(
+                        _draw_batch, batch_index + 1, next_length))
             if progress is not None:
                 progress(ProgressEvent(
                     phase="sample", done=consumed + length,
@@ -312,6 +372,9 @@ def run_sequential_monte_carlo(
                 "interrupted": True,
             })
         raise
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     stats.trials = consumed
     stats.total_seconds = time.perf_counter() - start
@@ -355,6 +418,8 @@ def run_sequential_pair_sampling(
         locations: Optional[Sequence[FaultLocation]] = None,
         channel: str = "depolarizing",
         workers: int = 1,
+        eval_batch_size: int = 1,
+        prefetch: bool = False,
         memoize: bool = True,
         cache: Optional[FaultPatternCache] = None,
         invariant: Optional[Callable[[SparseState], None]] = None,
@@ -369,7 +434,9 @@ def run_sequential_pair_sampling(
     (p_th ~ 1 / (fraction * location_pairs)), so deciding it early is
     deciding the threshold early.  Same stream/stopping/resume
     contract as :func:`run_sequential_monte_carlo`, over the uniform
-    distinct-location-pair draws of ``run_malignant_pairs``.
+    distinct-location-pair draws of ``run_malignant_pairs`` — and the
+    same ``eval_batch_size``/``prefetch`` accelerators, which change
+    wall-clock only, never verdicts or journals.
     """
     start = time.perf_counter()
     if seed is None:
@@ -382,6 +449,7 @@ def run_sequential_pair_sampling(
             f"max_samples must be >= 1, got {max_samples}"
         )
     batch_size = _coerce_chunk_size(batch_size)
+    eval_batch_size = _coerce_batch_size(eval_batch_size)
     workers = _coerce_workers(workers)
     if locations is None:
         locations = _default_locations(gadget)
@@ -406,12 +474,17 @@ def run_sequential_pair_sampling(
         "method": method,
         "channel": channel,
     }
+    if eval_batch_size > 1:
+        fingerprint["eval_path"] = BATCHED_PATH
+    eval_path = BATCHED_PATH if eval_batch_size > 1 else SERIAL_PATH
     store, cache = _open_journal(checkpoint, resume, seed, memoize,
-                                 cache, fingerprint, stats)
+                                 cache, fingerprint, stats,
+                                 eval_path=eval_path)
     model = NoiseModel.uniform(1.0, channel=channel)
     _, choices, after_ops = _location_setup(model, gadget, locations)
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant, policy=runtime)
+                           invariant=invariant, policy=runtime,
+                           batch_size=eval_batch_size)
 
     num_locations = len(locations)
     consumed = 0
@@ -425,17 +498,40 @@ def run_sequential_pair_sampling(
             test.update(int(record["failures"]), int(record["length"]))
             batch_index = int(record["batch"]) + 1
 
+    def _draw_batch(
+            index: int, length: int,
+    ) -> Tuple[Dict[FaultPattern, int], float]:
+        """Sample one pair batch (thread-safe: all state is local)."""
+        rng = np.random.default_rng(
+            chunk_seed_sequence(seed, index))
+        draw_start = time.perf_counter()
+        drawn_patterns: Dict[FaultPattern, int] = {}
+        sample_pair_chunk(choices, after_ops, num_locations, rng,
+                          length, drawn_patterns)
+        return drawn_patterns, time.perf_counter() - draw_start
+
+    executor: Optional[ThreadPoolExecutor] = None
+    if prefetch:
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-sample-prefetch")
+    pending: Optional[Tuple[int, Future]] = None
     try:
         while test.decision is None and consumed < max_samples:
             length = min(batch_size, max_samples - consumed)
-            rng = np.random.default_rng(
-                chunk_seed_sequence(seed, batch_index))
-            sample_start = time.perf_counter()
-            batch_patterns: Dict[FaultPattern, int] = {}
-            sample_pair_chunk(choices, after_ops, num_locations, rng,
-                              length, batch_patterns)
-            stats.sample_seconds += time.perf_counter() - sample_start
+            if pending is not None and pending[0] == batch_index:
+                batch_patterns, sampled = pending[1].result()
+            else:
+                batch_patterns, sampled = _draw_batch(batch_index,
+                                                      length)
+            pending = None
+            stats.sample_seconds += sampled
             stats.chunks += 1
+            if executor is not None:
+                next_length = min(batch_size,
+                                  max_samples - consumed - length)
+                if next_length > 0:
+                    pending = (batch_index + 1, executor.submit(
+                        _draw_batch, batch_index + 1, next_length))
             verdict_map = _resolve_verdicts(
                 context, batch_patterns, memoize, cache, workers,
                 batch_size, stats, progress, journal=store)
@@ -465,6 +561,9 @@ def run_sequential_pair_sampling(
                 "interrupted": True,
             })
         raise
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     stats.trials = consumed
     stats.total_seconds = time.perf_counter() - start
@@ -558,6 +657,7 @@ def adaptive_sweep_p(gadget: Gadget,
                      channel: str = "depolarizing",
                      locations: Optional[Sequence[FaultLocation]] = None,
                      workers: int = 1,
+                     eval_batch_size: int = 1,
                      memoize: bool = True,
                      cache: Optional[FaultPatternCache] = None,
                      invariant: Optional[
@@ -589,6 +689,11 @@ def adaptive_sweep_p(gadget: Gadget,
     allocation; the schedule is a pure function of the journaled
     counts, so a killed sweep resumes into the identical allocation
     sequence and final series.
+
+    ``eval_batch_size > 1`` routes evaluation through the vectorised
+    batched simulator (results unchanged).  There is no ``prefetch``
+    here: which point samples next depends on the batch that is still
+    evaluating, so sampling cannot run ahead of the allocator.
     """
     start = time.perf_counter()
     if seed is None:
@@ -598,6 +703,7 @@ def adaptive_sweep_p(gadget: Gadget,
         )
     total_trials = _coerce_count(total_trials, "total_trials")
     batch_size = _coerce_chunk_size(batch_size)
+    eval_batch_size = _coerce_batch_size(eval_batch_size)
     workers = _coerce_workers(workers)
     if not p_values:
         raise AnalysisError("adaptive_sweep_p needs at least one p value")
@@ -634,12 +740,17 @@ def adaptive_sweep_p(gadget: Gadget,
         "boundary": None if boundary is None else float(boundary),
         "channel": channel,
     }
+    if eval_batch_size > 1:
+        fingerprint["eval_path"] = BATCHED_PATH
+    eval_path = BATCHED_PATH if eval_batch_size > 1 else SERIAL_PATH
     store, cache = _open_journal(checkpoint, resume, seed, memoize,
-                                 cache, fingerprint, stats)
+                                 cache, fingerprint, stats,
+                                 eval_path=eval_path)
     if cache is None and memoize:
         cache = FaultPatternCache()
     context = _EvalContext(gadget, initial_state, evaluator,
-                           invariant=invariant, policy=runtime)
+                           invariant=invariant, policy=runtime,
+                           batch_size=eval_batch_size)
     models = [NoiseModel.uniform(p, channel=channel) for p in p_values]
     setups = [_location_setup(model, gadget, locations)
               for model in models]

@@ -10,8 +10,21 @@ Three complementary engines:
   states for small registers; the natural picture of an ensemble.
 * :class:`~repro.simulators.pauli_tracker.PauliPropagator` —
   Heisenberg-picture fault propagation for paper-style error counting.
+
+Two accelerators ride on top:
+
+* :class:`~repro.simulators.batched.BatchedState` — B Monte Carlo
+  trials stacked into one sparse register, advanced by one vectorised
+  kernel call per gate yet bit-identical per lane to a serial run.
+* :mod:`~repro.simulators.ptm` — Pauli-transfer-matrix composition
+  for Pauli-channel-only noise (channels compose as matrix products).
 """
 
+from repro.simulators.batched import (
+    BatchedState,
+    apply_circuit_with_fault_patterns,
+    evaluate_fault_patterns_batched,
+)
 from repro.simulators.channels import (
     KrausChannel,
     PauliChannel,
@@ -37,6 +50,7 @@ from repro.simulators.statevector import (
 )
 
 __all__ = [
+    "BatchedState",
     "DensityMatrix",
     "DensityMatrixSimulator",
     "KrausChannel",
@@ -48,10 +62,12 @@ __all__ = [
     "StateVector",
     "StatevectorSimulator",
     "amplitude_damping",
+    "apply_circuit_with_fault_patterns",
     "bit_flip",
     "bit_phase_flip",
     "dephasing",
     "depolarizing",
+    "evaluate_fault_patterns_batched",
     "pauli_xz",
     "phase_flip",
     "run_unitary",

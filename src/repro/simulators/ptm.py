@@ -1,0 +1,235 @@
+"""Pauli-transfer-matrix composition for Pauli-channel-only noise.
+
+In the Pauli basis a density matrix becomes a real vector of
+expectation values, a unitary becomes a real orthogonal matrix and a
+stochastic Pauli channel becomes a *diagonal* matrix — so a whole
+noisy circuit layer composes as one matrix product instead of a Kraus
+sum (the quantumsim-style picture).  The engine's sampled-fault paths
+don't need this (each trial is a pure state), but the PTM form is the
+natural representation for channel-level reasoning: averaging over
+fault ensembles, checking that a twirled coherent error really equals
+its stochastic counterpart, and cross-validating the batched sparse
+path against an exact mixed-state evolution.
+
+Conventions: the n-qubit Pauli basis is ordered by base-4 digits of
+the label with qubit 0 as the most significant digit (``I=0, X=1,
+Y=2, Z=3``), matching the big-endian qubit convention of every
+simulator in :mod:`repro.simulators`.  PTMs act on normalised Pauli
+vectors ``x_i = Tr(P_i rho) / sqrt(d)`` so unitary channels are
+orthogonal matrices.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, GateOp
+from repro.circuits.equivalence import embed_operator
+from repro.exceptions import SimulationError
+from repro.simulators.channels import KrausChannel, PauliChannel
+
+_LETTERS = "IXYZ"
+_SINGLE = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+_MAX_PTM_QUBITS = 6
+
+
+def pauli_labels(num_qubits: int) -> List[str]:
+    """All 4^n Pauli labels in canonical (base-4, big-endian) order."""
+    if num_qubits < 1:
+        raise SimulationError("need at least one qubit")
+    labels: List[str] = []
+    for index in range(4**num_qubits):
+        digits = []
+        value = index
+        for _ in range(num_qubits):
+            digits.append(_LETTERS[value % 4])
+            value //= 4
+        labels.append("".join(reversed(digits)))
+    return labels
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """The dense matrix of one Pauli label (qubit 0 most significant)."""
+    matrix = np.ones((1, 1), dtype=np.complex128)
+    for letter in label:
+        if letter not in _SINGLE:
+            raise SimulationError(f"invalid Pauli letter {letter!r}")
+        matrix = np.kron(matrix, _SINGLE[letter])
+    return matrix
+
+
+def pauli_basis(num_qubits: int) -> np.ndarray:
+    """Stacked (4^n, d, d) array of the canonical Pauli matrices."""
+    _check_width(num_qubits)
+    return np.stack([pauli_matrix(label)
+                     for label in pauli_labels(num_qubits)])
+
+
+def ptm_from_unitary(unitary: np.ndarray) -> np.ndarray:
+    """R[i, j] = Tr(P_i U P_j U^dag) / d — a real orthogonal matrix."""
+    unitary = np.asarray(unitary, dtype=np.complex128)
+    dim = unitary.shape[0]
+    num_qubits = _qubits_for_dim(dim)
+    basis = pauli_basis(num_qubits)
+    rotated = unitary @ basis @ unitary.conj().T
+    overlap = np.einsum("iab,jba->ij", basis, rotated) / dim
+    return np.real_if_close(overlap).real
+
+
+def ptm_from_kraus(channel: KrausChannel) -> np.ndarray:
+    """R[i, j] = sum_k Tr(P_i A_k P_j A_k^dag) / d."""
+    dim = 2**channel.num_qubits
+    basis = pauli_basis(channel.num_qubits)
+    result = np.zeros((dim * dim, dim * dim), dtype=np.complex128)
+    for op in channel.operators:
+        moved = op @ basis @ op.conj().T
+        result += np.einsum("iab,jba->ij", basis, moved)
+    return np.real_if_close(result / dim).real
+
+
+def pauli_channel_ptm(channel: PauliChannel) -> np.ndarray:
+    """The diagonal PTM of a stochastic Pauli channel.
+
+    Basis Pauli Q picks up ``sum_P p(P) * sign(P, Q)`` where the sign
+    is +1 when P and Q commute and -1 when they anticommute — no Kraus
+    sum needed, which is the whole point of the PTM representation for
+    Pauli-only noise.
+    """
+    labels = pauli_labels(channel.num_qubits)
+    diagonal = np.full(len(labels), channel.identity_probability)
+    for probability, fault in channel.terms:
+        signs = np.array(
+            [_commutation_sign(fault, label) for label in labels],
+            dtype=float,
+        )
+        diagonal = diagonal + probability * signs
+    return np.diag(diagonal)
+
+
+def gate_ptm(matrix: np.ndarray, qubits: Sequence[int],
+             num_qubits: int) -> np.ndarray:
+    """PTM of a k-qubit gate embedded into an n-qubit register."""
+    _check_width(num_qubits)
+    return ptm_from_unitary(
+        embed_operator(matrix, list(qubits), num_qubits)
+    )
+
+
+def compose_ptms(ptms: Sequence[np.ndarray]) -> np.ndarray:
+    """Compose channel PTMs, first-applied first: R = R_k ... R_2 R_1."""
+    ptms = list(ptms)
+    if not ptms:
+        raise SimulationError("compose_ptms needs at least one PTM")
+    return reduce(lambda acc, ptm: ptm @ acc, ptms)
+
+
+def circuit_ptm(circuit: Circuit,
+                channel: Optional[PauliChannel] = None) -> np.ndarray:
+    """PTM of a unitary circuit, optionally with a single-qubit Pauli
+    channel applied to every touched qubit after each gate (the
+    standard circuit-level stochastic noise picture)."""
+    _check_width(circuit.num_qubits)
+    if circuit.has_measurements:
+        raise SimulationError("circuit_ptm handles unitary circuits only")
+    pieces: List[np.ndarray] = []
+    for op in circuit.operations:
+        if not isinstance(op, GateOp) or op.condition is not None:
+            raise SimulationError("conditioned gate in unitary context")
+        pieces.append(
+            gate_ptm(op.gate.matrix, op.qubits, circuit.num_qubits)
+        )
+        if channel is not None:
+            if channel.num_qubits != 1:
+                raise SimulationError(
+                    "circuit_ptm noise must be a single-qubit channel"
+                )
+            noise_ptm = pauli_channel_ptm(channel)
+            for qubit in op.qubits:
+                pieces.append(
+                    lift_single_qubit_ptm(noise_ptm, qubit,
+                                          circuit.num_qubits)
+                )
+    if not pieces:
+        size = 4**circuit.num_qubits
+        return np.eye(size)
+    return compose_ptms(pieces)
+
+
+def lift_single_qubit_ptm(ptm: np.ndarray, qubit: int,
+                          num_qubits: int) -> np.ndarray:
+    """Embed a single-qubit PTM as I (x) ... (x) R (x) ... (x) I.
+
+    Valid for PTMs whose action factorises over tensor slots (every
+    single-qubit channel PTM does); the embedding is a Kronecker
+    product in the canonical label order.
+    """
+    _check_width(num_qubits)
+    if not 0 <= qubit < num_qubits:
+        raise SimulationError(f"qubit {qubit} out of range")
+    identity = np.eye(4)
+    factors = [ptm if q == qubit else identity
+               for q in range(num_qubits)]
+    return reduce(np.kron, factors)
+
+
+def state_to_pauli_vector(rho: np.ndarray) -> np.ndarray:
+    """Normalised Pauli vector x_i = Tr(P_i rho) / sqrt(d)."""
+    rho = np.asarray(rho, dtype=np.complex128)
+    num_qubits = _qubits_for_dim(rho.shape[0])
+    basis = pauli_basis(num_qubits)
+    vector = np.einsum("iab,ba->i", basis, rho) / np.sqrt(rho.shape[0])
+    return np.real_if_close(vector).real
+
+
+def pauli_vector_to_state(vector: np.ndarray,
+                          num_qubits: int) -> np.ndarray:
+    """Inverse of :func:`state_to_pauli_vector`."""
+    _check_width(num_qubits)
+    basis = pauli_basis(num_qubits)
+    dim = 2**num_qubits
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape != (dim * dim,):
+        raise SimulationError(
+            f"Pauli vector length {vector.shape} does not match "
+            f"{num_qubits} qubits"
+        )
+    return np.einsum("i,iab->ab", vector, basis) / np.sqrt(dim)
+
+
+def apply_ptm(ptm: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    return np.asarray(ptm) @ np.asarray(vector)
+
+
+def _commutation_sign(a: str, b: str) -> int:
+    """+1 if the Pauli labels commute, -1 if they anticommute."""
+    if len(a) != len(b):
+        raise SimulationError("label length mismatch")
+    anticommutations = sum(
+        1 for x, y in zip(a, b)
+        if x != "I" and y != "I" and x != y
+    )
+    return -1 if anticommutations % 2 else 1
+
+
+def _qubits_for_dim(dim: int) -> int:
+    num_qubits = int(round(np.log2(dim)))
+    if 2**num_qubits != dim:
+        raise SimulationError(f"dimension {dim} is not a power of two")
+    _check_width(num_qubits)
+    return num_qubits
+
+
+def _check_width(num_qubits: int) -> None:
+    if not 1 <= num_qubits <= _MAX_PTM_QUBITS:
+        raise SimulationError(
+            f"PTM toolkit supports 1..{_MAX_PTM_QUBITS} qubits, got "
+            f"{num_qubits}"
+        )

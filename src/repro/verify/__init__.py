@@ -28,6 +28,7 @@ prints ``generate(family, seed, ...)`` verbatim.
 from repro.verify.backends import (
     Backend,
     BackendResult,
+    BatchedBackend,
     DensityMatrixBackend,
     GateRewriteBackend,
     SparseBackend,
@@ -76,6 +77,7 @@ from repro.verify.shrink import ShrinkResult, shrink_circuit
 __all__ = [
     "Backend",
     "BackendResult",
+    "BatchedBackend",
     "DensityMatrixBackend",
     "Divergence",
     "FAMILIES",

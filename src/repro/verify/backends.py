@@ -31,6 +31,7 @@ from repro.circuits.equivalence import (
 )
 from repro.circuits.gates import Gate
 from repro.exceptions import VerificationError
+from repro.simulators.batched import BatchedState
 from repro.simulators.density_matrix import DensityMatrix
 from repro.simulators.sparse import SparseState
 from repro.simulators.statevector import run_unitary
@@ -110,6 +111,39 @@ class SparseBackend(Backend):
                              np.array(state.to_dense().amplitudes))
 
 
+class BatchedBackend(Backend):
+    """The vectorised lane-stacked simulator, read out lane by lane.
+
+    Runs the circuit through a :class:`BatchedState` of ``lanes``
+    identical trials and extracts one non-edge lane, so the oracle
+    exercises the lane masking and extraction machinery — a divergence
+    here means lanes leak into each other, which no single-lane test
+    can see.
+    """
+
+    name = "batched"
+
+    def __init__(self, lanes: int = 3, lane: int = 1) -> None:
+        if lanes < 1 or not 0 <= lane < lanes:
+            raise VerificationError(
+                f"lane {lane} outside batch of {lanes}"
+            )
+        self._lanes = lanes
+        self._lane = lane
+
+    def supports(self, circuit: Circuit) -> bool:
+        return super().supports(circuit) \
+            and circuit.num_qubits <= MAX_STATEVECTOR_QUBITS
+
+    def run(self, circuit: Circuit) -> BackendResult:
+        stacked = BatchedState(SparseState(circuit.num_qubits),
+                               self._lanes)
+        stacked.apply_circuit(circuit)
+        lane = stacked.extract_lane(self._lane)
+        return BackendResult(self.name, "pure",
+                             np.array(lane.to_dense().amplitudes))
+
+
 class DensityMatrixBackend(Backend):
     """Exact channel evolution (the ensemble's natural picture)."""
 
@@ -165,7 +199,7 @@ class GateRewriteBackend(Backend):
 
 def default_backends() -> Tuple[Backend, ...]:
     """Fresh instances of every state backend, reference first."""
-    return (StatevectorBackend(), SparseBackend(),
+    return (StatevectorBackend(), SparseBackend(), BatchedBackend(),
             DensityMatrixBackend())
 
 

@@ -143,6 +143,130 @@ class TestSequentialMonteCarloResume:
                 checkpoint=store, **_SEQ_KWARGS)
 
 
+class TestBatchedSequentialResume:
+    """The vectorised evaluation path under the same kill/resume
+    contract: batched runs must journal, die and resume exactly like
+    serial ones — and must never silently resume a serial journal."""
+
+    def test_batched_run_equals_serial_run(self, tiny):
+        gadget, initial, evaluator = tiny
+        noise = NoiseModel.uniform(0.05)
+        serial = run_sequential_monte_carlo(
+            gadget, initial, evaluator, noise, seed=2025,
+            **_SEQ_KWARGS)
+        for eval_batch_size in (7, 64):
+            batched = run_sequential_monte_carlo(
+                gadget, initial, evaluator, noise, seed=2025,
+                eval_batch_size=eval_batch_size, **_SEQ_KWARGS)
+            assert batched.verdict == serial.verdict
+            assert batched.result == serial.result
+            assert batched.batches == serial.batches
+
+    def test_prefetch_changes_nothing(self, tiny):
+        gadget, initial, evaluator = tiny
+        noise = NoiseModel.uniform(0.05)
+        plain = run_sequential_monte_carlo(
+            gadget, initial, evaluator, noise, seed=2025,
+            eval_batch_size=16, **_SEQ_KWARGS)
+        prefetched = run_sequential_monte_carlo(
+            gadget, initial, evaluator, noise, seed=2025,
+            eval_batch_size=16, prefetch=True, **_SEQ_KWARGS)
+        assert prefetched.verdict == plain.verdict
+        assert prefetched.result == plain.result
+        assert prefetched.batches == plain.batches
+
+    def test_sequential_batched_is_prefix_of_fixed_budget(self, tiny):
+        """The stopped batched run consumed a bit-identical prefix of
+        the fixed-budget batched engine run at the same seed."""
+        from repro.analysis.engine import run_monte_carlo
+
+        gadget, initial, evaluator = tiny
+        noise = NoiseModel.uniform(0.05)
+        sequential = run_sequential_monte_carlo(
+            gadget, initial, evaluator, noise, seed=2025,
+            eval_batch_size=32, **_SEQ_KWARGS)
+        fixed = run_monte_carlo(
+            gadget, initial, evaluator, noise,
+            trials=sequential.result.trials, seed=2025,
+            chunk_size=_SEQ_KWARGS["batch_size"], batch_size=32)
+        assert fixed == sequential.result
+
+    def test_killed_batched_run_resumes_bit_identically(self, tiny,
+                                                        tmp_path):
+        gadget, initial, evaluator = tiny
+        noise = NoiseModel.uniform(0.05)
+        serial = run_sequential_monte_carlo(
+            gadget, initial, evaluator, noise, seed=2025,
+            **_SEQ_KWARGS)
+        store = CheckpointStore(str(tmp_path / "batched"))
+        with pytest.raises(KeyboardInterrupt):
+            run_sequential_monte_carlo(
+                gadget, initial, evaluator, noise, seed=2025,
+                eval_batch_size=32, checkpoint=store,
+                progress=_InterruptAfter(2), **_SEQ_KWARGS)
+        assert store.load_state("cursor")["interrupted"] is True
+        resumed = run_sequential_monte_carlo(
+            gadget, initial, evaluator, noise, seed=2025,
+            eval_batch_size=32, checkpoint=store, **_SEQ_KWARGS)
+        # The resumed batched run equals the never-killed *serial*
+        # run: same verdicts, same decision, same journaled stream.
+        assert resumed.verdict == serial.verdict
+        assert resumed.result == serial.result
+        assert resumed.batches == serial.batches
+        assert store.load_final()["complete"] is True
+
+    def test_cross_path_resume_is_refused(self, tiny, tmp_path):
+        """A serial journal must not silently feed a batched resume
+        (or vice versa): the eval-path fingerprint marker refuses."""
+        gadget, initial, evaluator = tiny
+        noise = NoiseModel.uniform(0.05)
+        store = CheckpointStore(str(tmp_path / "crosspath"))
+        with pytest.raises(KeyboardInterrupt):
+            run_sequential_monte_carlo(
+                gadget, initial, evaluator, noise, seed=2025,
+                checkpoint=store, progress=_InterruptAfter(1),
+                **_SEQ_KWARGS)
+        with pytest.raises(CheckpointError, match="different run"):
+            run_sequential_monte_carlo(
+                gadget, initial, evaluator, noise, seed=2025,
+                eval_batch_size=32, checkpoint=store, **_SEQ_KWARGS)
+
+        reverse = CheckpointStore(str(tmp_path / "crosspath-b"))
+        with pytest.raises(KeyboardInterrupt):
+            run_sequential_monte_carlo(
+                gadget, initial, evaluator, noise, seed=2025,
+                eval_batch_size=32, checkpoint=reverse,
+                progress=_InterruptAfter(1), **_SEQ_KWARGS)
+        with pytest.raises(CheckpointError, match="different run"):
+            run_sequential_monte_carlo(
+                gadget, initial, evaluator, noise, seed=2025,
+                checkpoint=reverse, **_SEQ_KWARGS)
+
+    def test_batched_pair_run_equals_serial(self, tiny):
+        gadget, initial, evaluator = tiny
+        kwargs = dict(f0=0.7, f1=0.8, max_samples=1500, seed=31,
+                      batch_size=64)
+        serial = run_sequential_pair_sampling(
+            gadget, initial, evaluator, **kwargs)
+        batched = run_sequential_pair_sampling(
+            gadget, initial, evaluator, eval_batch_size=16,
+            prefetch=True, **kwargs)
+        assert batched.verdict == serial.verdict
+        assert batched.sample == serial.sample
+        assert batched.batches == serial.batches
+
+    def test_batched_adaptive_sweep_equals_serial(self, tiny):
+        gadget, initial, evaluator = tiny
+        kwargs = dict(p_values=[0.01, 0.05, 0.2],
+                      total_trials=12 * 128, seed=5, batch_size=128)
+        serial = adaptive_sweep_p(gadget, initial, evaluator, **kwargs)
+        batched = adaptive_sweep_p(gadget, initial, evaluator,
+                                   eval_batch_size=32, **kwargs)
+        assert batched.allocation == serial.allocation
+        assert batched.results == serial.results
+        assert batched.intervals == serial.intervals
+
+
 class TestSequentialPairResume:
     def test_killed_pair_run_resumes_bit_identically(self, tiny,
                                                      tmp_path):

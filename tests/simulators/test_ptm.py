@@ -1,0 +1,151 @@
+"""Pauli-transfer-matrix toolkit: PTMs must match Kraus evolution.
+
+Every identity checked here is an exact linear-algebra fact, so the
+tolerances are float-roundoff tight: the PTM of a channel applied to a
+state's Pauli vector must equal the Kraus operators applied to its
+density matrix, composition must equal sequential application, and
+unitary PTMs must be orthogonal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SimulationError
+from repro.simulators.channels import (
+    bit_flip,
+    depolarizing,
+    pauli_xz,
+    phase_flip,
+)
+from repro.simulators.ptm import (
+    circuit_ptm,
+    compose_ptms,
+    gate_ptm,
+    lift_single_qubit_ptm,
+    pauli_basis,
+    pauli_channel_ptm,
+    pauli_labels,
+    pauli_matrix,
+    pauli_vector_to_state,
+    ptm_from_kraus,
+    ptm_from_unitary,
+    state_to_pauli_vector,
+)
+
+
+def _random_density(num_qubits, rng):
+    dim = 2**num_qubits
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = raw @ raw.conj().T
+    return rho / np.trace(rho)
+
+
+class TestBasis:
+    def test_labels_are_canonical_base4(self):
+        assert pauli_labels(1) == ["I", "X", "Y", "Z"]
+        labels = pauli_labels(2)
+        assert labels[0] == "II"
+        assert labels[1] == "IX"
+        assert labels[4] == "XI"
+        assert len(labels) == 16
+
+    def test_matrices_are_orthogonal_under_hs(self):
+        basis = pauli_basis(2)
+        gram = np.einsum("iab,jba->ij", basis, basis)
+        assert np.allclose(gram, 4.0 * np.eye(16))
+
+    def test_pauli_matrix_rejects_bad_letter(self):
+        with pytest.raises(SimulationError, match="invalid Pauli"):
+            pauli_matrix("XQ")
+
+    def test_width_cap(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            pauli_labels(0)
+        with pytest.raises(SimulationError, match="1..6"):
+            pauli_basis(7)
+
+
+class TestChannelPtms:
+    @pytest.mark.parametrize("channel", [
+        depolarizing(0.1), bit_flip(0.2), phase_flip(0.05),
+        pauli_xz(0.1, 0.03), depolarizing(0.07, num_qubits=2),
+    ])
+    def test_diagonal_ptm_matches_kraus(self, channel):
+        assert np.allclose(pauli_channel_ptm(channel),
+                           ptm_from_kraus(channel.to_kraus()))
+
+    def test_unitary_ptm_is_orthogonal(self):
+        for gate in (gates.H, gates.S, gates.T):
+            ptm = ptm_from_unitary(gate.matrix)
+            assert np.allclose(ptm @ ptm.T, np.eye(4))
+
+    def test_ptm_evolution_equals_kraus_evolution(self, rng):
+        channel = depolarizing(0.13)
+        rho = _random_density(1, rng)
+        evolved = sum(op @ rho @ op.conj().T
+                      for op in channel.to_kraus().operators)
+        vector = pauli_channel_ptm(channel) @ state_to_pauli_vector(rho)
+        assert np.allclose(pauli_vector_to_state(vector, 1), evolved)
+
+    def test_pauli_vector_round_trip(self, rng):
+        rho = _random_density(2, rng)
+        vector = state_to_pauli_vector(rho)
+        assert np.allclose(pauli_vector_to_state(vector, 2), rho)
+
+
+class TestComposition:
+    def test_compose_order_is_first_applied_first(self):
+        h = ptm_from_unitary(gates.H.matrix)
+        s = ptm_from_unitary(gates.S.matrix)
+        composed = compose_ptms([h, s])
+        assert np.allclose(
+            composed, ptm_from_unitary(gates.S.matrix @ gates.H.matrix))
+
+    def test_compose_rejects_empty(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            compose_ptms([])
+
+    def test_circuit_ptm_matches_unitary(self):
+        circuit = Circuit(2)
+        circuit.add_gate(gates.H, 0)
+        circuit.add_gate(gates.CNOT, 0, 1)
+        circuit.add_gate(gates.T, 1)
+        from repro.circuits import circuit_unitary
+        assert np.allclose(circuit_ptm(circuit),
+                           ptm_from_unitary(circuit_unitary(circuit)))
+
+    def test_noisy_circuit_ptm_matches_density_evolution(self, rng):
+        channel = depolarizing(0.08)
+        kraus = channel.to_kraus()
+        circuit = Circuit(2)
+        circuit.add_gate(gates.H, 0)
+        circuit.add_gate(gates.CNOT, 0, 1)
+        rho = _random_density(2, rng)
+
+        from repro.circuits.equivalence import embed_operator
+        expected = rho
+        for op in circuit.operations:
+            unitary = embed_operator(op.gate.matrix, list(op.qubits), 2)
+            expected = unitary @ expected @ unitary.conj().T
+            for qubit in op.qubits:
+                expected = sum(
+                    embed_operator(k, [qubit], 2) @ expected
+                    @ embed_operator(k, [qubit], 2).conj().T
+                    for k in kraus.operators)
+
+        ptm = circuit_ptm(circuit, channel=channel)
+        vector = ptm @ state_to_pauli_vector(rho)
+        assert np.allclose(pauli_vector_to_state(vector, 2), expected)
+
+    def test_lift_matches_embedded_gate(self):
+        lifted = lift_single_qubit_ptm(
+            ptm_from_unitary(gates.H.matrix), 1, 2)
+        assert np.allclose(lifted, gate_ptm(gates.H.matrix, [1], 2))
+
+    def test_multi_qubit_noise_rejected_in_circuit_ptm(self):
+        circuit = Circuit(2)
+        circuit.add_gate(gates.CNOT, 0, 1)
+        with pytest.raises(SimulationError, match="single-qubit"):
+            circuit_ptm(circuit, channel=depolarizing(0.1, num_qubits=2))

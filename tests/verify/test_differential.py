@@ -69,7 +69,7 @@ class TestDifferentialSweep:
         assert report.clean
         assert report.circuits_run == 30
         assert report.backend_names == ("statevector", "sparse",
-                                        "density_matrix")
+                                        "batched", "density_matrix")
         assert "0 divergence(s)" in report.summary()
 
     def test_sweep_is_deterministic(self):

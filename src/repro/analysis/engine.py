@@ -1009,6 +1009,35 @@ def _open_journal(checkpoint, resume: bool, seed: Optional[int],
     return store, cache
 
 
+def _apply_optimizer(gadget: Gadget, optimize,
+                     locations) -> Tuple[Gadget, Optional[str]]:
+    """Resolve the ``optimize=`` knob for a gadget workload.
+
+    Returns the (possibly rewritten) gadget and the pipeline marker to
+    stamp into the checkpoint fingerprint, or ``(gadget, None)`` when
+    optimization is off.  Explicit ``locations`` are refused: fault
+    locations index into the original circuit's operation list, so
+    pairing them with a rewritten circuit would silently misplace
+    every fault.
+    """
+    from repro.optimize.pipeline import (
+        _resolve_pipeline,
+        optimize_gadget,
+    )
+
+    pipeline = _resolve_pipeline(optimize, gadget=True)
+    if pipeline is None:
+        return gadget, None
+    if locations is not None:
+        raise AnalysisError(
+            "optimize= cannot be combined with explicit locations=: "
+            "fault locations reference operation indices of the "
+            "original circuit; pass locations enumerated from the "
+            "optimized gadget instead"
+        )
+    return optimize_gadget(gadget, pipeline), pipeline.marker
+
+
 def run_monte_carlo(gadget: Gadget,
                     initial_state: SparseState,
                     evaluator: Callable[[SparseState], bool],
@@ -1027,7 +1056,8 @@ def run_monte_carlo(gadget: Gadget,
                     = None,
                     checkpoint=None,
                     resume: bool = True,
-                    runtime: Optional[RuntimePolicy] = None):
+                    runtime: Optional[RuntimePolicy] = None,
+                    optimize=False):
     """Engine-scheduled equivalent of ``gadget_monte_carlo``.
 
     Returns a :class:`~repro.analysis.montecarlo.GadgetMonteCarloResult`
@@ -1060,6 +1090,15 @@ def run_monte_carlo(gadget: Gadget,
     :class:`~repro.exceptions.CheckpointError` rather than risk a
     wrong number.  ``runtime`` tunes supervision/fallback (default:
     production :class:`~repro.runtime.RuntimePolicy`).
+
+    ``optimize`` (``False`` | ``True`` | a qubit-preserving
+    :class:`~repro.optimize.PassPipeline`) rewrites the gadget's
+    circuit through the certified optimizer before fault locations are
+    enumerated, so trials pay for measurably fewer locations.
+    Incompatible with explicit ``locations=``.  Checkpoint
+    fingerprints gain an ``optimizer`` marker (the pipeline identity),
+    so an optimized journal refuses to resume an unoptimized run and
+    vice versa — mirroring the ``eval_path`` marker.
     """
     from repro.analysis.montecarlo import (
         GadgetMonteCarloResult,
@@ -1074,6 +1113,8 @@ def run_monte_carlo(gadget: Gadget,
             "it exactly with repro.noise.injection."
             "run_with_coherent_noise or sample its Pauli twirl"
         )
+    gadget, optimizer_marker = _apply_optimizer(gadget, optimize,
+                                                locations)
     if locations is None:
         locations = _default_locations(gadget)
     locations = list(locations)
@@ -1104,6 +1145,11 @@ def run_monte_carlo(gadget: Gadget,
         # journals keep resuming); batched runs are marked so a
         # journal never silently swaps evaluation paths.
         fingerprint["eval_path"] = BATCHED_PATH
+    if optimizer_marker is not None:
+        # Same contract as eval_path: unoptimized fingerprints stay
+        # byte-identical, optimized journals can never silently mix
+        # with unoptimized ones (the location sets differ).
+        fingerprint["optimizer"] = optimizer_marker
     store, cache = _open_journal(
         checkpoint, resume, seed, memoize, cache, fingerprint, stats,
         eval_path=BATCHED_PATH if batch_size > 1 else SERIAL_PATH)
@@ -1198,13 +1244,15 @@ def run_malignant_pairs(gadget: Gadget,
                             Callable[[SparseState], None]] = None,
                         checkpoint=None,
                         resume: bool = True,
-                        runtime: Optional[RuntimePolicy] = None):
+                        runtime: Optional[RuntimePolicy] = None,
+                        optimize=False):
     """Engine-scheduled equivalent of ``sample_malignant_pairs``.
 
-    ``invariant``, ``checkpoint``/``resume``, ``runtime`` and
-    ``batch_size`` behave as in :func:`run_monte_carlo`.  Pair
-    patterns are mostly distinct, so this workload is
-    evaluation-dominated and gains the most from ``batch_size > 1``.
+    ``invariant``, ``checkpoint``/``resume``, ``runtime``,
+    ``batch_size`` and ``optimize`` behave as in
+    :func:`run_monte_carlo`.  Pair patterns are mostly distinct, so
+    this workload is evaluation-dominated and gains the most from
+    ``batch_size > 1``.
     """
     from repro.analysis.montecarlo import (
         MalignantPairSample,
@@ -1212,6 +1260,8 @@ def run_malignant_pairs(gadget: Gadget,
     )
 
     start = time.perf_counter()
+    gadget, optimizer_marker = _apply_optimizer(gadget, optimize,
+                                                locations)
     if locations is None:
         locations = _default_locations(gadget)
     locations = list(locations)
@@ -1235,6 +1285,8 @@ def run_malignant_pairs(gadget: Gadget,
     }
     if batch_size > 1:
         fingerprint["eval_path"] = BATCHED_PATH
+    if optimizer_marker is not None:
+        fingerprint["optimizer"] = optimizer_marker
     store, cache = _open_journal(
         checkpoint, resume, seed, memoize, cache, fingerprint, stats,
         eval_path=BATCHED_PATH if batch_size > 1 else SERIAL_PATH)
@@ -1311,21 +1363,23 @@ def run_exhaustive(gadget: Gadget,
                    = None,
                    checkpoint=None,
                    resume: bool = True,
-                   runtime: Optional[RuntimePolicy] = None
-                   ) -> ExhaustiveSurvey:
+                   runtime: Optional[RuntimePolicy] = None,
+                   optimize=False) -> ExhaustiveSurvey:
     """Engine-scheduled exhaustive single-fault certification.
 
     The failure list preserves the serial (location, pauli) order, so
     it is interchangeable with ``exhaustive_single_faults_sparse``.
     Memoization deduplicates coincident faults (e.g. a delay fault
     anchored at the same ``after_op`` as an equal gate-location Pauli).
-    ``checkpoint``/``resume`` and ``runtime`` behave as in
-    :func:`run_monte_carlo`; the enumeration is deterministic, so no
-    seed is required to resume.
+    ``checkpoint``/``resume``, ``runtime`` and ``optimize`` behave as
+    in :func:`run_monte_carlo`; the enumeration is deterministic, so
+    no seed is required to resume.
     """
     from repro.analysis.montecarlo import _default_locations
 
     start = time.perf_counter()
+    gadget, optimizer_marker = _apply_optimizer(gadget, optimize,
+                                                locations)
     if locations is None:
         locations = _default_locations(gadget)
     locations = list(locations)
@@ -1350,6 +1404,8 @@ def run_exhaustive(gadget: Gadget,
     }
     if batch_size > 1:
         fingerprint["eval_path"] = BATCHED_PATH
+    if optimizer_marker is not None:
+        fingerprint["optimizer"] = optimizer_marker
     store, cache = _open_journal(
         checkpoint, resume, None, memoize, cache, fingerprint, stats,
         needs_seed=False,

@@ -81,6 +81,16 @@ class CheckpointError(RuntimeIntegrityError):
     one being resumed (fingerprint mismatch)."""
 
 
+class OptimizationError(ReproError):
+    """Raised when a circuit-optimizer pass cannot be certified.
+
+    The optimizer's contract mirrors the runtime's: a provably
+    equivalent circuit or a typed error, never a silently rewritten
+    one.  When the differential certification of a before/after pair
+    finds a divergence, the failing rewrite is shrunk to a minimal
+    reproducer and raised as this error instead of being applied."""
+
+
 class VerificationError(ReproError):
     """Raised by the differential-verification oracle when two
     simulation backends disagree on the same circuit, when a

@@ -173,3 +173,19 @@ def apply_circuit_with_faults(state: SparseState, circuit: Circuit,
         state.apply_gate(op.gate, op.qubits)
         for pauli in by_point.get(index, []):
             state.apply_pauli(pauli)
+
+
+def maybe_optimize(gadget: Gadget, optimize) -> Gadget:
+    """Resolve a gadget constructor's ``optimize=`` knob.
+
+    ``False``/``None`` returns the gadget untouched; ``True`` runs the
+    canonical qubit-preserving pipeline; a
+    :class:`~repro.optimize.PassPipeline` is used as-is (it must
+    preserve qubits).  Shared by the :mod:`repro.ft` constructors so
+    their knob stays one keyword.
+    """
+    if optimize is False or optimize is None:
+        return gadget
+    from repro.optimize.pipeline import _resolve_pipeline, optimize_gadget
+
+    return optimize_gadget(gadget, _resolve_pipeline(optimize, gadget=True))

@@ -68,7 +68,12 @@ from repro.circuits.circuit import Circuit
 from repro.codes.quantum.css import CssCode
 from repro.exceptions import FaultToleranceError
 from repro.ft import classical_logic
-from repro.ft.gadget import Gadget, Register, RegisterAllocator
+from repro.ft.gadget import (
+    Gadget,
+    Register,
+    RegisterAllocator,
+    maybe_optimize,
+)
 
 
 def readout_vector(code: CssCode) -> np.ndarray:
@@ -246,13 +251,20 @@ class NGateBuilder:
 def build_n_gadget(code: CssCode,
                    variant: str = "direct",
                    repetitions: Optional[int] = None,
-                   output_width: Optional[int] = None) -> Gadget:
+                   output_width: Optional[int] = None,
+                   optimize=False) -> Gadget:
     """Build the stand-alone N gadget (the Fig. 1 experiment).
 
     Registers:
         ``quantum``  - the encoded ancilla block (n qubits, input);
         ``classical`` - the classical-ancilla output block;
         plus the variant's internal syndrome/scratch/parity registers.
+
+    ``optimize`` (``False`` | ``True`` | a qubit-preserving
+    :class:`~repro.optimize.PassPipeline`) rewrites the circuit
+    through the certified optimizer; registers and qubit numbering are
+    unchanged, only the operation list (and hence the fault-location
+    count) shrinks.
     """
     builder = NGateBuilder(code, variant=variant, repetitions=repetitions)
     alloc = RegisterAllocator()
@@ -266,7 +278,7 @@ def build_n_gadget(code: CssCode,
     circuit = Circuit(alloc.num_qubits,
                       name=f"N[{code.name},{variant}]")
     builder.append(circuit, quantum.qubits, classical.qubits, blocks)
-    return Gadget(
+    gadget = Gadget(
         name=circuit.name,
         circuit=circuit,
         registers=alloc.registers,
@@ -278,6 +290,7 @@ def build_n_gadget(code: CssCode,
             "repetition-basis classical ancilla without measurement."
         ),
     )
+    return maybe_optimize(gadget, optimize)
 
 
 def classical_majority_value(bits: Sequence[int]) -> int:

@@ -70,7 +70,7 @@ from repro.circuits import gates
 from repro.circuits.circuit import Circuit
 from repro.codes.quantum.css import CssCode
 from repro.exceptions import FaultToleranceError
-from repro.ft.gadget import Gadget, RegisterAllocator
+from repro.ft.gadget import Gadget, RegisterAllocator, maybe_optimize
 from repro.ft.special_states import sparse_logical_state
 from repro.simulators.sparse import SparseState
 
@@ -107,7 +107,8 @@ def _append_indicator(circuit: Circuit, syndrome: Sequence[int],
         circuit.add_gate(gates.X, bit)
 
 
-def build_recovery_gadget(code: CssCode, error_type: str = "X") -> Gadget:
+def build_recovery_gadget(code: CssCode, error_type: str = "X",
+                          optimize=False) -> Gadget:
     """Build the Sec. 5 measurement-free recovery gadget for one block.
 
     Registers:
@@ -117,6 +118,8 @@ def build_recovery_gadget(code: CssCode, error_type: str = "X") -> Gadget:
         ``syndrome_<p>`` - per-position fresh syndrome copy;
         ``scratch_<p>``  - per-position decode scratch;
         ``indicator_<p>``- per-position correction control bit.
+
+    ``optimize`` behaves as in :func:`repro.ft.ngate.build_n_gadget`.
     """
     if error_type not in ERROR_TYPES:
         raise FaultToleranceError(
@@ -180,7 +183,7 @@ def build_recovery_gadget(code: CssCode, error_type: str = "X") -> Gadget:
         correction_gate = gates.CNOT if error_type == "X" else gates.CZ
         circuit.add_gate(correction_gate, indicators[index].qubits[0],
                          data.qubits[position])
-    return Gadget(
+    gadget = Gadget(
         name=circuit.name,
         circuit=circuit,
         registers=alloc.registers,
@@ -192,6 +195,7 @@ def build_recovery_gadget(code: CssCode, error_type: str = "X") -> Gadget:
             "applied as classically controlled Pauli corrections."
         ),
     )
+    return maybe_optimize(gadget, optimize)
 
 
 def recovery_ancilla_state(code: CssCode, error_type: str) -> SparseState:

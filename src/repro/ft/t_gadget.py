@@ -47,7 +47,7 @@ from repro.circuits.circuit import Circuit
 from repro.codes.quantum.css import CssCode
 from repro.exceptions import FaultToleranceError
 from repro.ft import transversal
-from repro.ft.gadget import Gadget, RegisterAllocator
+from repro.ft.gadget import Gadget, RegisterAllocator, maybe_optimize
 from repro.ft.ngate import NGateBuilder
 from repro.ft.special_states import sparse_logical_state
 from repro.simulators.sparse import SparseState
@@ -60,7 +60,8 @@ def psi0_state(code: CssCode) -> SparseState:
 
 
 def build_t_gadget(code: CssCode, n_variant: str = "direct",
-                   repetitions: Optional[int] = None) -> Gadget:
+                   repetitions: Optional[int] = None,
+                   optimize=False) -> Gadget:
     """Build the Fig. 3 gadget.
 
     Registers:
@@ -68,6 +69,8 @@ def build_t_gadget(code: CssCode, n_variant: str = "direct",
         ``psi``       - the |psi_0> resource block (input; consumed);
         ``classical`` - the classical ancilla written by N;
         plus the embedded N gate's syndrome/scratch registers.
+
+    ``optimize`` behaves as in :func:`repro.ft.ngate.build_n_gadget`.
     """
     builder = NGateBuilder(code, variant=n_variant,
                            repetitions=repetitions)
@@ -88,7 +91,7 @@ def build_t_gadget(code: CssCode, n_variant: str = "direct",
     # 3. Classically controlled logical sigma_z^{1/2} onto the data.
     transversal.add_controlled_logical_s(circuit, code, classical.qubits,
                                          data.qubits)
-    return Gadget(
+    gadget = Gadget(
         name=circuit.name,
         circuit=circuit,
         registers=alloc.registers,
@@ -102,6 +105,7 @@ def build_t_gadget(code: CssCode, n_variant: str = "direct",
             "bitwise operation."
         ),
     )
+    return maybe_optimize(gadget, optimize)
 
 
 def t_gadget_inputs(gadget: Gadget, code: CssCode,

@@ -48,7 +48,7 @@ from repro.circuits.circuit import Circuit
 from repro.codes.quantum.css import CssCode
 from repro.exceptions import FaultToleranceError
 from repro.ft import classical_logic, transversal
-from repro.ft.gadget import Gadget, RegisterAllocator
+from repro.ft.gadget import Gadget, RegisterAllocator, maybe_optimize
 from repro.ft.ngate import NGateBuilder
 from repro.ft.special_states import sparse_logical_state
 from repro.simulators.sparse import SparseState
@@ -65,8 +65,11 @@ def and_resource_state(code: CssCode) -> SparseState:
 
 
 def build_toffoli_gadget(code: CssCode, n_variant: str = "direct",
-                         repetitions: Optional[int] = None) -> Gadget:
+                         repetitions: Optional[int] = None,
+                         optimize=False) -> Gadget:
     """Build the Fig. 4 gadget.
+
+    ``optimize`` behaves as in :func:`repro.ft.ngate.build_n_gadget`.
 
     Registers:
         ``and_a``/``and_b``/``and_c`` - the |AND> blocks (inputs;
@@ -137,7 +140,7 @@ def build_toffoli_gadget(code: CssCode, n_variant: str = "direct",
                                          and_a.qubits)
     transversal.add_controlled_logical_x(circuit, code, m2.qubits,
                                          and_b.qubits)
-    return Gadget(
+    gadget = Gadget(
         name=circuit.name,
         circuit=circuit,
         registers=alloc.registers,
@@ -150,6 +153,7 @@ def build_toffoli_gadget(code: CssCode, n_variant: str = "direct",
             "by classical repetition-basis ancillas."
         ),
     )
+    return maybe_optimize(gadget, optimize)
 
 
 def toffoli_inputs(gadget: Gadget, code: CssCode,

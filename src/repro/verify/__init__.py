@@ -59,6 +59,7 @@ from repro.verify.oracle import (
     Divergence,
     SweepReport,
     check_circuit,
+    check_circuit_pair,
     circuit_seed_for,
     codespace_invariant,
     combine_invariants,
@@ -88,6 +89,7 @@ __all__ = [
     "SweepReport",
     "channel_linearity_discrepancy",
     "check_circuit",
+    "check_circuit_pair",
     "circuit_seed_for",
     "codespace_discrepancy",
     "codespace_invariant",

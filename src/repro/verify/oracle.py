@@ -129,6 +129,58 @@ def check_circuit(circuit: Circuit,
     return None
 
 
+def check_circuit_pair(before: Circuit,
+                       after: Circuit,
+                       backends: Optional[Sequence[Backend]] = None,
+                       atol: float = DEFAULT_ATOL
+                       ) -> Optional[Divergence]:
+    """Differentially compare two circuits claimed equivalent.
+
+    Runs *both* circuits through every backend that supports both and
+    compares the ``before`` output of each backend against the
+    ``after`` output of every backend (including itself), so a rewrite
+    bug cannot hide behind a single simulator's blind spot and a
+    backend bug cannot mask a rewrite bug.  This is the cross-backend
+    leg of the optimizer's rewrite certification: ``None`` means every
+    view agrees the two circuits act identically on ``|0...0>``.
+
+    Backends are width-capped at
+    :data:`~repro.verify.backends.MAX_STATEVECTOR_QUBITS` even when a
+    backend reports wider support, because comparing results densifies
+    both states; wide-register pairs are certified with sparse probe
+    states by :mod:`repro.optimize.certify` instead.
+    """
+    from repro.verify.backends import MAX_STATEVECTOR_QUBITS
+
+    if backends is None:
+        backends = default_backends()
+    if before.num_qubits != after.num_qubits:
+        raise VerificationError(
+            "check_circuit_pair compares same-register circuits; lift "
+            f"the rewritten circuit first (got {before.num_qubits} vs "
+            f"{after.num_qubits} qubits)"
+        )
+    if before.num_qubits > MAX_STATEVECTOR_QUBITS:
+        return None
+    pairs: List[Tuple[BackendResult, BackendResult]] = []
+    for backend in backends:
+        if backend.supports(before) and backend.supports(after):
+            pairs.append((backend.run(before), backend.run(after)))
+    for result_before, _ in pairs:
+        for _, result_after in pairs:
+            discrepancy = result_discrepancy(result_before,
+                                             result_after)
+            if discrepancy > atol:
+                return Divergence(
+                    backend_a=result_before.backend + ":before",
+                    backend_b=result_after.backend + ":after",
+                    discrepancy=discrepancy,
+                    circuit=after,
+                    detail="before/after rewrite pair",
+                )
+    return None
+
+
 def divergence_predicate(backends: Optional[Sequence[Backend]] = None,
                          atol: float = DEFAULT_ATOL,
                          frame_checks: bool = False

@@ -1,0 +1,150 @@
+"""The certification layer must be able to *fail*.
+
+A differential suite that cannot catch a wrong rewrite proves
+nothing, so this file drives a deliberately broken pass — cancelling
+S·S as if S were self-inverse, the optimizer-side twin of the PR-2
+``swap_s_direction`` backend bug — through the certified pipeline and
+asserts it is rejected, shrunk to a <= 3-gate reproducer, and never
+returned as a circuit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import CNOT, H, S, S_DG
+from repro.exceptions import OptimizationError
+from repro.optimize import (
+    BrokenSCancelPass,
+    PassPipeline,
+    certify_rewrite,
+    circuits_equivalent,
+    equivalence_discrepancy,
+    optimize_circuit,
+)
+from repro.verify import check_circuit_pair, generate, circuit_seed_for
+
+
+def _bug_trigger() -> Circuit:
+    """A circuit the broken pass mis-rewrites, with bystander gates."""
+    circuit = Circuit(2)
+    circuit.add_gate(H, 0)
+    circuit.add_gate(S, 1)
+    circuit.add_gate(S, 1)
+    circuit.add_gate(CNOT, 0, 1)
+    return circuit
+
+
+def test_broken_pass_is_caught_by_certified_pipeline():
+    pipeline = PassPipeline([BrokenSCancelPass()], certify=True)
+    with pytest.raises(OptimizationError) as excinfo:
+        pipeline.run(_bug_trigger())
+    message = str(excinfo.value)
+    assert "broken_s_cancel" in message
+    assert "gate S" in message  # the reproducer dump rides along
+
+
+def test_broken_pass_shrinks_to_minimal_reproducer():
+    pipeline = PassPipeline([BrokenSCancelPass()], certify=True)
+    with pytest.raises(OptimizationError) as excinfo:
+        pipeline.run(_bug_trigger())
+    shrunk = excinfo.value.shrunk
+    assert shrunk is not None
+    assert len(shrunk) <= 3  # S·S on one qubit is the whole bug
+    assert shrunk.num_qubits == 1
+    # The reproducer really is mis-rewritten by the pass.
+    rewritten = BrokenSCancelPass().run(shrunk).circuit
+    assert not circuits_equivalent(shrunk, rewritten)
+
+
+def test_broken_pass_never_fires_on_correct_input():
+    # S·S† is a correct cancellation; the broken pass does not touch
+    # it, so the certified pipeline passes the circuit through.
+    circuit = Circuit(1)
+    circuit.add_gate(S, 0)
+    circuit.add_gate(S_DG, 0)
+    result = PassPipeline([BrokenSCancelPass()],
+                          certify=True).run(circuit)
+    assert result.total_rewrites == 0
+
+
+def test_certify_rewrite_accepts_identical_pair():
+    circuit = _bug_trigger()
+    certify_rewrite(circuit, circuit.copy(), "identity")
+
+
+def test_certify_rewrite_rejects_inequivalent_pair():
+    before = _bug_trigger()
+    after = Circuit(2)
+    after.add_gate(H, 0)
+    with pytest.raises(OptimizationError):
+        certify_rewrite(before, after, "bogus")
+
+
+def test_certified_default_pipeline_clean_over_fuzz(fuzz_reporter):
+    """The shipped passes certify clean: certify=True never raises
+    and always performs the per-rewrite checks it claims."""
+    for index in range(25):
+        for family in ("clifford", "clifford_t", "gadget"):
+            seed = circuit_seed_for(77, index)
+            circuit = generate(family, seed, max_qubits=5,
+                               max_gates=24)
+            fuzz_reporter.watch(circuit, family=family, seed=seed,
+                                max_qubits=5, max_gates=24,
+                                note="certified default pipeline")
+            result = optimize_circuit(circuit, certify=True,
+                                      use_cache=False)
+            assert result.certified_rewrites >= (
+                1 if result.total_rewrites else 0)
+
+
+def test_equivalence_discrepancy_gradations():
+    a = Circuit(1)
+    a.add_gate(S, 0)
+    b = Circuit(1)
+    b.add_gate(S_DG, 0)
+    assert equivalence_discrepancy(a, a.copy()) == 0.0
+    assert equivalence_discrepancy(a, b) > 1e-3
+    wider = Circuit(2)
+    wider.add_gate(S, 0)
+    assert equivalence_discrepancy(a, wider) == 1.0
+
+
+def test_wide_register_probe_certification():
+    """Above the dense-unitary cap the probe battery takes over and
+    still distinguishes S from S† buried in a wide register."""
+    width = 14  # > MAX_DENSE_UNITARY_QUBITS, > pair-check cap
+    good = Circuit(width)
+    bad = Circuit(width)
+    for q in range(width):
+        good.add_gate(H, q)
+        bad.add_gate(H, q)
+    good.add_gate(S, 7)
+    bad.add_gate(S_DG, 7)
+    assert circuits_equivalent(good, good.copy())
+    assert not circuits_equivalent(good, bad)
+    with pytest.raises(OptimizationError):
+        certify_rewrite(good, bad, "wide_bug")
+
+
+def test_check_circuit_pair_catches_s_direction_swap():
+    before = Circuit(1)
+    before.add_gate(H, 0)
+    before.add_gate(S, 0)
+    after = Circuit(1)
+    after.add_gate(H, 0)
+    after.add_gate(S_DG, 0)
+    divergence = check_circuit_pair(before, after)
+    assert divergence is not None
+    assert "before" in divergence.backend_a \
+        or "after" in divergence.backend_b
+
+
+def test_check_circuit_pair_requires_same_width():
+    from repro.exceptions import VerificationError
+
+    a = Circuit(1)
+    b = Circuit(2)
+    with pytest.raises(VerificationError):
+        check_circuit_pair(a, b)

@@ -1,0 +1,93 @@
+"""Stress-table regression on optimized gadgets.
+
+The PR-4 certification table is the repo's behavioural contract for
+the gadget suite (seed table: 45 pass / 0 degrade / 0 fail).
+Optimization must change the fault-location bill, not the physics —
+so a bounded ``stress_certify`` sweep over optimized gadgets must
+produce the *same verdict in every row* as the unoptimized sweep, at
+measurably lower location counts.  The full-scale table re-run lives
+in the veryslow tier.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.stress import stress_certify
+from repro.ft.ngate import build_n_gadget
+from repro.ft.t_gadget import build_t_gadget
+from repro.noise.locations import count_locations
+
+TRIALS = int(os.environ.get("REPRO_STRESS_TRIALS", "120"))
+SEED = 20260806
+
+
+def _row_key(verdict):
+    return (verdict.claim, verdict.gadget, verdict.model)
+
+
+@pytest.fixture(scope="module")
+def bounded_reports(trivial):
+    """One bounded sweep each way, shared across the module's tests.
+
+    TrivialCode keeps a (gadgets x models) sweep in CI time while
+    exercising the identical engine/optimizer path; the Steane-scale
+    reduction numbers are asserted separately below.
+    """
+    plain = stress_certify(code=trivial, trials=TRIALS, seed=SEED,
+                           gadgets=("n", "t", "recovery"),
+                           include_structural=False)
+    optimized = stress_certify(code=trivial, trials=TRIALS, seed=SEED,
+                               gadgets=("n", "t", "recovery"),
+                               include_structural=False,
+                               optimize=True)
+    return plain, optimized
+
+
+def test_optimized_table_matches_verdict_for_verdict(bounded_reports):
+    plain, optimized = bounded_reports
+    assert len(plain.verdicts) == len(optimized.verdicts)
+    plain_rows = {_row_key(v): v.verdict for v in plain.verdicts}
+    optimized_rows = {_row_key(v): v.verdict
+                      for v in optimized.verdicts}
+    assert plain_rows.keys() == optimized_rows.keys()
+    mismatches = {key: (plain_rows[key], optimized_rows[key])
+                  for key in plain_rows
+                  if plain_rows[key] != optimized_rows[key]}
+    assert not mismatches, mismatches
+
+
+def test_optimized_table_stays_certified(bounded_reports):
+    plain, optimized = bounded_reports
+    assert plain.certified
+    assert optimized.certified
+    counts = optimized.counts()
+    assert counts["fail"] == 0
+    assert counts["degrade"] == 0
+
+
+def test_steane_location_reduction_meets_the_bar(steane):
+    """The acceptance criterion: >= 10% fewer fault locations on at
+    least one Steane gadget.  Both N and T clear it."""
+    reductions = {}
+    for build in (build_n_gadget, build_t_gadget):
+        plain = build(steane)
+        optimized = build(steane, optimize=True)
+        before = count_locations(plain.circuit)["total"]
+        after = count_locations(optimized.circuit)["total"]
+        reductions[plain.name] = 1.0 - after / before
+    assert max(reductions.values()) >= 0.10, reductions
+    assert all(r >= 0.0 for r in reductions.values())
+
+
+@pytest.mark.veryslow
+def test_full_steane_table_on_optimized_gadgets(steane):
+    """The PR-4 seed table, re-run on optimized gadgets: 45 rows, all
+    pass (structural claims included)."""
+    report = stress_certify(code=steane, optimize=True)
+    counts = report.counts()
+    assert counts["pass"] == 45
+    assert counts["degrade"] == 0
+    assert counts["fail"] == 0

@@ -1,0 +1,238 @@
+"""Property-based certification of every shipped optimizer pass.
+
+Each pass sweeps >= 200 seeded circuits (per family split) from the
+PR-2 generators; every rewrite must be equivalent to its input up to
+global phase — checked three ways: exact dense unitaries, the
+cross-backend :func:`repro.verify.check_circuit_pair` differential,
+and the post-rewrite :func:`repro.verify.check_circuit` oracle.  The
+``fuzz_reporter`` fixture dumps the failing circuit plus a reseed
+command on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import CNOT, H, S, S_DG, T, Z
+from repro.optimize import (
+    CancelInversesPass,
+    CommuteSinkPass,
+    CompactAncillasPass,
+    MergePhaseRunsPass,
+    ReduceIdlePass,
+    circuits_equivalent,
+    ops_commute,
+)
+from repro.optimize.pipeline import _lift
+from repro.verify import (
+    check_circuit,
+    check_circuit_pair,
+    circuit_seed_for,
+    generate,
+)
+
+#: Total fuzzed circuits per pass (split across the three families).
+EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "210"))
+SWEEP_SEED = 20260806
+FAMILIES = ("clifford", "clifford_t", "gadget")
+MAX_QUBITS = 5
+MAX_GATES = 24
+
+PASSES = [
+    CancelInversesPass(),
+    MergePhaseRunsPass(),
+    CommuteSinkPass(),
+    ReduceIdlePass(),
+    CompactAncillasPass(),
+]
+
+
+def _sweep_items():
+    per_family = max(1, EXAMPLES // len(FAMILIES))
+    for family in FAMILIES:
+        for index in range(per_family):
+            seed = circuit_seed_for(SWEEP_SEED, index)
+            yield family, seed
+
+
+@pytest.mark.parametrize("pass_", PASSES, ids=lambda p: p.name)
+def test_pass_preserves_semantics_over_fuzzed_sweep(pass_,
+                                                    fuzz_reporter):
+    checked = 0
+    for family, seed in _sweep_items():
+        circuit = generate(family, seed, max_qubits=MAX_QUBITS,
+                           max_gates=MAX_GATES)
+        fuzz_reporter.watch(circuit, family=family, seed=seed,
+                            max_qubits=MAX_QUBITS,
+                            max_gates=MAX_GATES,
+                            note=f"pass={pass_.name}")
+        result = pass_.run(circuit)
+        rewritten = result.circuit
+        if result.qubit_map is not None:
+            rewritten = _lift(rewritten, result.qubit_map, circuit)
+        assert circuits_equivalent(circuit, rewritten), (
+            f"{pass_.name} broke seed {seed} ({family})")
+        divergence = check_circuit_pair(circuit, rewritten)
+        assert divergence is None, str(divergence)
+        divergence = check_circuit(rewritten)
+        assert divergence is None, str(divergence)
+        checked += 1
+    assert checked >= min(EXAMPLES, 3 * (EXAMPLES // 3))
+
+
+@pytest.mark.parametrize("pass_", PASSES, ids=lambda p: p.name)
+def test_pass_is_idempotent_on_own_output(pass_, fuzz_reporter):
+    """A pass re-run on its own output must find nothing to rewrite.
+
+    This is what makes the pipeline's fixed-point detection sound: a
+    pass that keeps oscillating would spin the driver to max_rounds.
+    """
+    for family, seed in _sweep_items():
+        circuit = generate(family, seed, max_qubits=MAX_QUBITS,
+                           max_gates=MAX_GATES)
+        fuzz_reporter.watch(circuit, family=family, seed=seed,
+                            max_qubits=MAX_QUBITS,
+                            max_gates=MAX_GATES,
+                            note=f"idempotence pass={pass_.name}")
+        once = pass_.run(circuit).circuit
+        again = pass_.run(once)
+        assert again.rewrites == 0, (
+            f"{pass_.name} rewrote its own output on seed {seed}")
+
+
+def test_cancel_inverses_cancels_the_issue_pairs():
+    circuit = Circuit(2)
+    circuit.add_gate(H, 0)
+    circuit.add_gate(H, 0)
+    circuit.add_gate(S, 1)
+    circuit.add_gate(S_DG, 1)
+    circuit.add_gate(CNOT, 0, 1)
+    circuit.add_gate(CNOT, 0, 1)
+    result = CancelInversesPass().run(circuit)
+    assert result.rewrites == 3
+    assert len(result.circuit) == 0
+
+
+def test_cancel_inverses_sees_through_other_qubits():
+    circuit = Circuit(2)
+    circuit.add_gate(H, 0)
+    circuit.add_gate(Z, 1)  # does not touch qubit 0
+    circuit.add_gate(H, 0)
+    result = CancelInversesPass().run(circuit)
+    assert result.rewrites == 1
+    assert [op.gate.name for op in result.circuit.operations] == ["Z"]
+
+
+def test_cancel_inverses_resolves_cascades():
+    circuit = Circuit(1)
+    for gate in (S, H, H, S_DG):
+        circuit.add_gate(gate, 0)
+    result = CancelInversesPass().run(circuit)
+    assert result.rewrites == 2
+    assert len(result.circuit) == 0
+
+
+def test_merge_phase_runs_maps_back_to_named_gates():
+    circuit = Circuit(1)
+    circuit.add_gate(T, 0)
+    circuit.add_gate(T, 0)
+    result = MergePhaseRunsPass().run(circuit)
+    assert result.rewrites == 1
+    ops = list(result.circuit.operations)
+    assert len(ops) == 1 and ops[0].gate.name == "S"
+
+
+def test_merge_phase_runs_drops_full_turns():
+    circuit = Circuit(1)
+    circuit.add_gate(Z, 0)
+    circuit.add_gate(S, 0)
+    circuit.add_gate(S, 0)  # Z * S * S = Z^2 = I
+    result = MergePhaseRunsPass().run(circuit)
+    assert len(result.circuit) == 0
+
+
+def test_commute_sink_defers_past_disjoint_gates():
+    circuit = Circuit(3)
+    circuit.add_gate(Z, 2)
+    circuit.add_gate(CNOT, 0, 1)
+    circuit.add_gate(CNOT, 1, 2)
+    result = CommuteSinkPass().run(circuit)
+    names = [(op.gate.name, op.qubits)
+             for op in result.circuit.operations]
+    assert names == [("CNOT", (0, 1)), ("Z", (2,)),
+                     ("CNOT", (1, 2))]
+    assert result.rewrites == 1
+
+
+def test_reduce_idle_never_increases_idle_count():
+    for family, seed in _sweep_items():
+        circuit = generate(family, seed, max_qubits=MAX_QUBITS,
+                           max_gates=MAX_GATES)
+        before = len(circuit.idle_locations())
+        after = len(ReduceIdlePass().run(circuit)
+                    .circuit.idle_locations())
+        assert after <= before
+
+
+def test_reduce_idle_only_swaps_commuting_pairs():
+    # Anti-commuting pair: HX != XH — must never be reordered even if
+    # a swap would look profitable, so the op sequence is unchanged.
+    from repro.circuits.gates import X
+
+    circuit = Circuit(2)
+    circuit.add_gate(H, 0)
+    circuit.add_gate(X, 0)
+    circuit.add_gate(CNOT, 0, 1)
+    result = ReduceIdlePass().run(circuit)
+    assert [op.gate.name for op in result.circuit.operations] == \
+        [op.gate.name for op in circuit.operations]
+
+
+def test_compact_ancillas_drops_untouched_qubits():
+    circuit = Circuit(5)
+    circuit.add_gate(H, 1)
+    circuit.add_gate(CNOT, 1, 3)
+    result = CompactAncillasPass().run(circuit)
+    assert result.circuit.num_qubits == 2
+    assert result.qubit_map == {1: 0, 3: 1}
+    assert result.rewrites == 3  # three qubits dropped
+
+
+def test_compact_ancillas_keeps_full_registers_untouched():
+    circuit = Circuit(2)
+    circuit.add_gate(CNOT, 0, 1)
+    result = CompactAncillasPass().run(circuit)
+    assert result.rewrites == 0
+    assert result.qubit_map is None
+    assert result.circuit.num_qubits == 2
+
+
+def test_ops_commute_matrix_cases():
+    z = Circuit(2)
+    z.add_gate(Z, 0)
+    z.add_gate(CNOT, 0, 1)
+    z_op, cnot_op = z.operations
+    assert ops_commute(z_op, cnot_op)  # Z on a CNOT control
+    x = Circuit(2)
+    from repro.circuits.gates import X
+
+    x.add_gate(X, 0)
+    x.add_gate(CNOT, 0, 1)
+    x_op, cnot_op = x.operations
+    assert not ops_commute(x_op, cnot_op)  # X on a control does not
+
+
+def test_measurements_are_rewrite_barriers():
+    circuit = Circuit(1, 1)
+    circuit.add_gate(H, 0)
+    circuit.measure(0, 0)
+    circuit.add_gate(H, 0)
+    for pass_ in (CancelInversesPass(), MergePhaseRunsPass(),
+                  CommuteSinkPass(), ReduceIdlePass()):
+        result = pass_.run(circuit)
+        kinds = [type(op).__name__
+                 for op in result.circuit.operations]
+        assert kinds == ["GateOp", "MeasureOp", "GateOp"], pass_.name

@@ -1,0 +1,132 @@
+"""E10 — certification service: queue overhead and cache economics.
+
+The robustness layer's economic claim: the durable queue + lease +
+checkpoint machinery costs little over running the engine directly,
+and the content-addressed verdict cache turns every repeated
+submission into a constant-time lookup with **zero** simulator
+evaluations — so a certification campaign can be re-driven (after a
+crash, a re-run, a CI retry) for free.
+
+Emits ``results/BENCH_service.json`` with the measured per-job
+overhead and cache-hit timings (the CI bench job can upload it as an
+artifact).
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.analysis import n_gadget_evaluator
+from repro.analysis.engine import run_monte_carlo
+from repro.codes import TrivialCode
+from repro.ft import build_n_gadget, sparse_coset_state
+from repro.noise import NoiseModel
+from repro.service import (
+    SUCCEEDED,
+    CertificationService,
+    JobSpec,
+    ServiceConfig,
+)
+
+from _harness import json_artifact, report, series_lines
+
+#: Jobs per measured pass; override with BENCH_SERVICE_JOBS for CI
+#: smoke runs.
+JOBS = int(os.environ.get("BENCH_SERVICE_JOBS", "12"))
+TRIALS = int(os.environ.get("BENCH_SERVICE_TRIALS", "80"))
+P = 0.02
+SEED = 20260808
+
+
+def _specs():
+    return [
+        JobSpec.create("monte_carlo", code="trivial", gadget="n",
+                       p=P, trials=TRIALS, seed=SEED + index,
+                       chunk_size=max(TRIALS // 4, 1))
+        for index in range(JOBS)
+    ]
+
+
+def _direct_pass():
+    """The same workload with no service: engine calls in a loop."""
+    code = TrivialCode()
+    gadget = build_n_gadget(code)
+    initial = gadget.initial_state(
+        {"quantum": sparse_coset_state(code, 0)}
+    )
+    evaluator = n_gadget_evaluator(gadget, code, 0)
+    start = time.time()
+    for index in range(JOBS):
+        run_monte_carlo(gadget, initial, evaluator,
+                        NoiseModel.uniform(P), trials=TRIALS,
+                        seed=SEED + index,
+                        chunk_size=max(TRIALS // 4, 1))
+    return time.time() - start
+
+
+def test_queue_overhead_and_cache_hits(benchmark):
+    """Direct engine loop vs service first pass vs cached resubmit."""
+    direct_seconds = _direct_pass()
+    root = tempfile.mkdtemp(prefix="bench-service-")
+
+    def run_experiment():
+        shutil.rmtree(root, ignore_errors=True)
+        service = CertificationService(
+            root, config=ServiceConfig(workers=0))
+        fingerprints = [service.submit(spec) for spec in _specs()]
+        start = time.time()
+        service.worker("bench").run_until_drained(timeout=600.0)
+        first_seconds = time.time() - start
+        for spec in _specs():
+            service.submit(spec)
+        start = time.time()
+        service.worker("bench-2").run_until_drained(timeout=600.0)
+        second_seconds = time.time() - start
+        return service, fingerprints, first_seconds, second_seconds
+
+    service, fingerprints, first_seconds, second_seconds = \
+        benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    cache_hits = 0
+    for fp in fingerprints:
+        status = service.status(fp)
+        assert status.state == SUCCEEDED
+        if status.meta.get("cache_hit"):
+            assert status.meta["evaluations"] == 0
+            cache_hits += 1
+    overhead = first_seconds - direct_seconds
+    rows = [
+        ("direct engine loop", f"{direct_seconds:.3f}", "-", "-"),
+        ("service first pass", f"{first_seconds:.3f}",
+         f"{overhead / JOBS * 1e3:+.1f}",
+         f"{first_seconds / max(direct_seconds, 1e-9):.2f}x"),
+        ("cached resubmission", f"{second_seconds:.3f}",
+         f"{second_seconds / JOBS * 1e3:.1f}",
+         f"{second_seconds / max(first_seconds, 1e-9):.2f}x"),
+    ]
+    report("E10 — service overhead and verdict-cache economics", [
+        f"workload: {JOBS} monte_carlo jobs x {TRIALS} trials "
+        f"(trivial code, p={P:g}), in-process worker",
+        *series_lines(("pass", "seconds", "ms/job", "vs direct"),
+                      rows),
+        "",
+        f"cache hits on resubmission: {cache_hits}/{JOBS} "
+        f"(all with 0 simulator evaluations)",
+    ])
+    json_artifact("BENCH_service.json", {
+        "jobs": JOBS,
+        "trials": TRIALS,
+        "p": P,
+        "seed": SEED,
+        "direct_seconds": direct_seconds,
+        "service_first_pass_seconds": first_seconds,
+        "cached_resubmission_seconds": second_seconds,
+        "per_job_overhead_ms": overhead / JOBS * 1e3,
+        "cache_hits": cache_hits,
+    })
+    shutil.rmtree(root, ignore_errors=True)
+    assert cache_hits == JOBS
+    # The cached pass must not re-run the workload: it has to be
+    # decisively faster than the computing pass.
+    assert second_seconds < first_seconds

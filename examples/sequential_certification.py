@@ -13,10 +13,16 @@ Run:  PYTHONPATH=src python examples/sequential_certification.py
       [--p P] [--p0 P0] [--p1 P1] [--alpha A] [--beta B]
       [--max-trials N] [--batch SIZE] [--seed S]
       [--method sprt|confidence-sequence] [--trivial] [--out DIR]
+      [--checkpoint-dir DIR] [--no-resume]
 
 ``--out`` writes ``sequential_verdict.json`` (the CI stats-certify
 job uploads it as an artifact).  Exit status: 0 when the claim is
 accepted, 1 when rejected, 2 when the budget ran out undecided.
+
+``--checkpoint-dir`` journals every completed batch; a killed run
+re-invoked with the same arguments replays the journal and reaches
+the identical verdict, trial count and fault stream as an
+uninterrupted run.  ``--no-resume`` wipes the journal first.
 """
 
 import argparse
@@ -68,7 +74,22 @@ def main(argv=None) -> int:
                         help="use the trivial code (fast smoke runs)")
     parser.add_argument("--out", default=None,
                         help="directory for the verdict JSON artifact")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal completed batches here so a "
+                             "killed run resumes bit-identically")
+    parser.add_argument("--no-resume", dest="resume",
+                        action="store_false",
+                        help="wipe the checkpoint journal and start "
+                             "fresh instead of resuming")
     args = parser.parse_args(argv)
+
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.runtime import CheckpointStore
+
+        checkpoint = CheckpointStore(args.checkpoint_dir)
+        if not args.resume:
+            checkpoint.clear()
 
     code = TrivialCode() if args.trivial else SteaneCode()
     gadget = build_n_gadget(code)
@@ -87,6 +108,7 @@ def main(argv=None) -> int:
         max_trials=args.max_trials, seed=args.seed,
         batch_size=args.batch, method=args.method,
         eval_batch_size=args.eval_batch_size,
+        checkpoint=checkpoint, resume=args.resume,
     )
     elapsed = time.time() - start
     verdict = outcome.verdict

@@ -14,11 +14,17 @@ claims:
 
 Run:  PYTHONPATH=src python examples/stress_certification.py
       [--trials N] [--p P] [--gadgets n,t,toffoli,recovery]
-      [--out DIR] [--optimize]
+      [--out DIR] [--optimize] [--checkpoint-dir DIR] [--no-resume]
 
 ``--optimize`` runs the certified circuit-optimizer pipeline
 (``repro.optimize``) on every gadget before the sweep: the verdict
 table must not change, only the fault-location bill shrinks.
+
+``--checkpoint-dir`` makes the sweep crash-safe: every baseline and
+every (gadget, model) row journals into its own substore there, so a
+killed run re-invoked with the same arguments replays finished rows
+and recomputes only the interrupted one — verdicts bit-identical to
+an uninterrupted sweep.  ``--no-resume`` wipes the journal first.
 
 ``--out`` writes ``stress_verdicts.txt`` and ``stress_verdicts.json``
 (the CI stress job uploads these as artifacts).  Exit status is 0 when
@@ -49,7 +55,22 @@ def main(argv=None) -> int:
                         help="run the certified circuit-optimizer "
                              "pipeline on every gadget first (same "
                              "verdicts, fewer fault locations)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal every sweep row here so a "
+                             "killed run resumes bit-identically")
+    parser.add_argument("--no-resume", dest="resume",
+                        action="store_false",
+                        help="wipe the checkpoint journal and start "
+                             "fresh instead of resuming")
     args = parser.parse_args(argv)
+
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.runtime import CheckpointStore
+
+        checkpoint = CheckpointStore(args.checkpoint_dir)
+        if not args.resume:
+            checkpoint.clear()
 
     start = time.time()
     report = stress_certify(
@@ -59,6 +80,8 @@ def main(argv=None) -> int:
         gadgets=tuple(name.strip()
                       for name in args.gadgets.split(",") if name.strip()),
         optimize=args.optimize,
+        checkpoint=checkpoint,
+        resume=args.resume,
         progress=lambda message: print(
             f"  [{time.time() - start:6.1f}s] {message}", flush=True),
     )

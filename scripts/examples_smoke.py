@@ -8,6 +8,12 @@ The CI ``examples-smoke`` job runs this to keep the examples from
 rotting silently.
 
 Run:  python scripts/examples_smoke.py [--timeout SECONDS] [--only NAME]
+      [--shard I/N]
+
+``--shard 1/2`` runs the first of two deterministic slices of the
+example list (round-robin over the sorted filenames), so CI can split
+the sweep across parallel jobs; every example lands in exactly one
+shard.
 
 Exit status is 0 only when every example exits 0 (examples whose
 *documented* nonzero exits signal a verdict, like
@@ -36,7 +42,23 @@ SMOKE_ARGS = {
         "--trivial", "--p", "0.001", "--max-trials", "512",
         "--batch", "128",
     ],
+    "certification_service.py": [
+        "--jobs", "4", "--workers", "0", "--trials", "40",
+    ],
 }
+
+
+def parse_shard(text):
+    """``"2/3"`` -> (1, 3): zero-based shard index and shard count."""
+    try:
+        index, count = (int(part) for part in text.split("/"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--shard wants I/N, e.g. 1/2, got {text!r}")
+    if count < 1 or not 1 <= index <= count:
+        raise argparse.ArgumentTypeError(
+            f"--shard index must be in 1..N, got {text!r}")
+    return index - 1, count
 
 
 def run_one(script: Path, timeout: float) -> dict:
@@ -70,11 +92,18 @@ def main(argv=None) -> int:
                         help="per-example wall-clock limit (seconds)")
     parser.add_argument("--only", default=None,
                         help="substring filter on example filenames")
+    parser.add_argument("--shard", type=parse_shard, default=None,
+                        metavar="I/N",
+                        help="run deterministic slice I of N "
+                             "(1-based), e.g. 1/2")
     args = parser.parse_args(argv)
 
     scripts = sorted(EXAMPLES.glob("*.py"))
     if args.only:
         scripts = [s for s in scripts if args.only in s.name]
+    if args.shard:
+        index, count = args.shard
+        scripts = scripts[index::count]
     if not scripts:
         print("no examples matched", file=sys.stderr)
         return 2

@@ -30,6 +30,9 @@ DSN 2004:
 * :mod:`repro.runtime` — the resilient execution runtime: crash-safe
   checkpoint journals, supervised worker pools, backend degradation
   ladders and the deterministic chaos harness that certifies them.
+* :mod:`repro.service` — the crash-safe certification job service:
+  durable content-addressed job queue, lease-based worker pools with
+  retry/backoff, and the integrity-checked verdict cache.
 """
 
 from repro import (
@@ -41,6 +44,7 @@ from repro import (
     ft,
     noise,
     runtime,
+    service,
     simulators,
     verify,
 )
@@ -83,6 +87,7 @@ __all__ = [
     "ft",
     "noise",
     "runtime",
+    "service",
     "simulators",
     "verify",
 ]

@@ -505,6 +505,36 @@ class EngineStats:
             )
         return lines
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot for job metadata and reports.
+
+        The service records this alongside each verdict so a cache hit
+        (``evaluations == 0``) is distinguishable from a recompute.
+        """
+        return {
+            "trials": self.trials,
+            "chunks": self.chunks,
+            "workers": self.workers,
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "evaluations": self.evaluations,
+            "distinct_patterns": self.distinct_patterns,
+            "total_seconds": self.total_seconds,
+            "retries": self.retries,
+            "hung_chunks": self.hung_chunks,
+            "worker_errors": self.worker_errors,
+            "pool_restarts": self.pool_restarts,
+            "quarantined_chunks": self.quarantined_chunks,
+            "degraded_evaluations": dict(sorted(
+                self.degraded_evaluations.items())),
+            "invariant_retries": self.invariant_retries,
+            "resumed_verdicts": self.resumed_verdicts,
+            "cache_evictions": self.cache_evictions,
+            "batched_evaluations": self.batched_evaluations,
+            "batched_batches": self.batched_batches,
+            "batched_fallbacks": self.batched_fallbacks,
+        }
+
 
 @dataclass
 class ExhaustiveSurvey:

@@ -160,6 +160,8 @@ def run_sequential_monte_carlo(
         cache: Optional[FaultPatternCache] = None,
         invariant: Optional[Callable[[SparseState], None]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
+        on_batch: Optional[Callable[[int, int, int, Optional[str]],
+                                    None]] = None,
         checkpoint=None,
         resume: bool = True,
         runtime: Optional[RuntimePolicy] = None,
@@ -199,6 +201,15 @@ def run_sequential_monte_carlo(
     discarded unused if the test stops first.  Off by default: with
     ``workers > 1`` the evaluation pool forks while the sampler
     thread may be running, which is best opted into knowingly.
+
+    ``on_batch`` is the streaming hook: after every batch is folded
+    into the estimator (journaled batches replayed on resume
+    included), it is called with ``(batch_index, trials_consumed,
+    failures_total, decision_so_far)``.  The certification service
+    uses it to append per-batch confidence-interval events to the job
+    journal while the run is still in flight; it observes, never
+    influences — an exception raised from it propagates like
+    ``KeyboardInterrupt`` (completed batches stay journaled).
     """
     start = time.perf_counter()
     if not noise.samplable:
@@ -282,6 +293,9 @@ def run_sequential_monte_carlo(
             failures_total += int(record["failures"])
             test.update(int(record["failures"]), int(record["length"]))
             batch_index = int(record["batch"]) + 1
+            if on_batch is not None:
+                on_batch(batch_index - 1, consumed, failures_total,
+                         test.decision)
 
     def _draw_batch(
             index: int, length: int,
@@ -363,6 +377,9 @@ def run_sequential_monte_carlo(
                     "method": method,
                     "state": test.state_dict(),
                 })
+            if on_batch is not None:
+                on_batch(batch_index, consumed, failures_total,
+                         test.decision)
             batch_index += 1
     except KeyboardInterrupt:
         if store is not None:
@@ -424,6 +441,8 @@ def run_sequential_pair_sampling(
         cache: Optional[FaultPatternCache] = None,
         invariant: Optional[Callable[[SparseState], None]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
+        on_batch: Optional[Callable[[int, int, int, Optional[str]],
+                                    None]] = None,
         checkpoint=None,
         resume: bool = True,
         runtime: Optional[RuntimePolicy] = None,
@@ -435,8 +454,9 @@ def run_sequential_pair_sampling(
     deciding the threshold early.  Same stream/stopping/resume
     contract as :func:`run_sequential_monte_carlo`, over the uniform
     distinct-location-pair draws of ``run_malignant_pairs`` — and the
-    same ``eval_batch_size``/``prefetch`` accelerators, which change
-    wall-clock only, never verdicts or journals.
+    same ``eval_batch_size``/``prefetch`` accelerators and
+    ``on_batch`` streaming hook, which change wall-clock and
+    observability only, never verdicts or journals.
     """
     start = time.perf_counter()
     if seed is None:
@@ -497,6 +517,9 @@ def run_sequential_pair_sampling(
             malignant_total += int(record["failures"])
             test.update(int(record["failures"]), int(record["length"]))
             batch_index = int(record["batch"]) + 1
+            if on_batch is not None:
+                on_batch(batch_index - 1, consumed, malignant_total,
+                         test.decision)
 
     def _draw_batch(
             index: int, length: int,
@@ -552,6 +575,9 @@ def run_sequential_pair_sampling(
                     "method": method,
                     "state": test.state_dict(),
                 })
+            if on_batch is not None:
+                on_batch(batch_index, consumed, malignant_total,
+                         test.decision)
             batch_index += 1
     except KeyboardInterrupt:
         if store is not None:

@@ -29,6 +29,7 @@ bounded sweep and uploads it as an artifact.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -53,6 +54,7 @@ from repro.ft import (
 from repro.ft.gadget import Gadget, apply_circuit_with_faults
 from repro.ft.special_states import sparse_coset_state
 from repro.ft.toffoli_gadget import toffoli_initial_state, toffoli_inputs
+from repro.runtime.checkpoint import as_store
 from repro.noise import (
     BiasedPauliModel,
     CoherentOverRotationModel,
@@ -476,6 +478,8 @@ def stress_certify(code=None,
                    beta: float = 0.05,
                    sequential_method: str = "sprt",
                    optimize=False,
+                   checkpoint=None,
+                   resume: bool = True,
                    ) -> StressReport:
     """Sweep the gadget suite across the structured model family.
 
@@ -505,9 +509,17 @@ def stress_certify(code=None,
     ``optimize`` runs the whole sweep on optimizer-rewritten gadgets
     (see :mod:`repro.optimize`): same verdicts expected, measurably
     fewer fault locations paid per trial.
+
+    ``checkpoint``/``resume`` make the sweep crash-safe: every
+    baseline and every (gadget, model) row journals into its own
+    substore of the given store, so a killed sweep re-run with the
+    same arguments replays finished rows from their journals and
+    recomputes only the interrupted one — with verdicts bit-identical
+    to an uninterrupted sweep.
     """
     if code is None:
         code = SteaneCode()
+    store = as_store(checkpoint)
     report = StressReport()
     family = structured_model_family(p) if models is None else models
     for case in gadget_cases(code, gadgets, optimize=optimize):
@@ -517,6 +529,8 @@ def stress_certify(code=None,
         baseline = run_monte_carlo(
             gadget, initial, evaluator, NoiseModel.uniform(p),
             trials=trials, seed=seed, workers=1,
+            checkpoint=_row_store(store, "baseline", case.name),
+            resume=resume,
         )
         allowance = baseline.failure_rate \
             + 3.0 * baseline.stderr + 1.0 / trials
@@ -529,12 +543,22 @@ def stress_certify(code=None,
                 degrade_factor=degrade_factor,
                 fail_factor=fail_factor, sequential=sequential,
                 alpha=alpha, beta=beta, method=sequential_method,
+                checkpoint=_row_store(store, case.name, model_name),
+                resume=resume,
             ))
     if include_structural:
         certify_phase_immunity(code, trials=trials, seed=seed,
                                report=report)
         majority_burst_break_point(k=2, report=report)
     return report
+
+
+def _row_store(store, *parts: str):
+    """A sanitized substore for one sweep row (None passes through)."""
+    if store is None:
+        return None
+    name = re.sub(r"[^A-Za-z0-9._-]+", "_", "-".join(parts))
+    return store.substore(name)
 
 
 def _degradation_row(case_name: str, model_name: str, gadget: Gadget,
@@ -544,7 +568,8 @@ def _degradation_row(case_name: str, model_name: str, gadget: Gadget,
                      *, trials: int, seed: int, degrade_factor: float,
                      fail_factor: float, sequential: bool,
                      alpha: float, beta: float,
-                     method: str) -> StressVerdict:
+                     method: str, checkpoint=None,
+                     resume: bool = True) -> StressVerdict:
     """One graceful-degradation row (fixed-budget or sequential)."""
     p0 = min(max(degrade_factor * allowance, 1e-6), 0.49)
     p1 = min(max(fail_factor * allowance, 2.0 * p0), 0.98)
@@ -560,6 +585,7 @@ def _degradation_row(case_name: str, model_name: str, gadget: Gadget,
             p0=p0, p1=p1, alpha=alpha, beta=beta,
             max_trials=trials, seed=seed, method=method,
             claim=f"{case_name} x {model_name} rate <= {p0:g}",
+            checkpoint=checkpoint, resume=resume,
         )
         result = outcome.result
         decision = outcome.verdict.decision
@@ -575,6 +601,7 @@ def _degradation_row(case_name: str, model_name: str, gadget: Gadget,
         result = run_monte_carlo(
             gadget, initial, evaluator, model,
             trials=trials, seed=seed, workers=1,
+            checkpoint=checkpoint, resume=resume,
         )
         verdict = None
     rate = result.failure_rate

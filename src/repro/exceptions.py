@@ -81,6 +81,25 @@ class CheckpointError(RuntimeIntegrityError):
     one being resumed (fingerprint mismatch)."""
 
 
+class ServiceError(RuntimeIntegrityError):
+    """Raised by the certification job service when a queue, lease or
+    cache operation cannot be completed safely.
+
+    The service inherits the runtime's contract — a correct verdict or
+    a typed error, never a silently wrong or double-counted one — so
+    its failures sit under :class:`RuntimeIntegrityError`."""
+
+
+class StaleLeaseError(ServiceError):
+    """Raised when a worker acts on a job lease it no longer owns.
+
+    A lease expires when its holder stops heartbeating (killed, hung
+    or partitioned); the job is then re-leased to another worker under
+    a fresh token.  Any late write from the original holder —
+    heartbeat, completion, failure report — is refused with this error
+    so a job's terminal state is recorded exactly once."""
+
+
 class OptimizationError(ReproError):
     """Raised when a circuit-optimizer pass cannot be certified.
 

@@ -30,13 +30,20 @@ pickle, so journals are portable and diffable.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import re
 import shutil
 import tempfile
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.circuits.pauli import PauliString
 from repro.exceptions import CheckpointError
@@ -48,6 +55,52 @@ DEFAULT_ROOT = ".repro_runs"
 JOURNAL_VERSION = 1
 
 _RECORD_NAME = re.compile(r"^([a-z_]+)-(\d{6})\.json$")
+
+#: Name of the short-held advisory lock serialising record appends.
+_APPEND_LOCK = ".append.lock"
+#: Name of the long-held advisory lock marking a store's owner.
+_OWNER_LOCK = ".owner.lock"
+
+
+@contextlib.contextmanager
+def _flock(path: str, timeout: Optional[float] = None,
+           poll: float = 0.02):
+    """Advisory exclusive lock on ``path`` (no-op without fcntl).
+
+    ``timeout=None`` blocks until acquired; a finite timeout raises
+    :class:`CheckpointError` when the lock stays contended — the
+    caller is told another process owns the store instead of silently
+    corrupting it.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    handle = open(path, "a+")
+    try:
+        if timeout is None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        else:
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    fcntl.flock(handle.fileno(),
+                                fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise CheckpointError(
+                            f"could not acquire advisory lock "
+                            f"{path!r} within {timeout:g}s; another "
+                            f"process holds this checkpoint store"
+                        )
+                    time.sleep(poll)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
 
 
 # ---------------------------------------------------------------------------
@@ -167,9 +220,27 @@ class CheckpointStore:
         return os.path.isfile(self._path("header.json"))
 
     def clear(self) -> None:
-        """Wipe the journal for a fresh (non-resumed) run."""
-        if os.path.isdir(self.directory):
-            shutil.rmtree(self.directory)
+        """Wipe the journal for a fresh (non-resumed) run.
+
+        Advisory lock files survive the wipe: deleting a lock file
+        that another process holds open would let a third process
+        create and lock a *new* file of the same name, silently
+        yielding two "exclusive" owners.
+        """
+        if not os.path.isdir(self.directory):
+            return
+        kept = {_OWNER_LOCK, _APPEND_LOCK}
+        for name in os.listdir(self.directory):
+            if name in kept:
+                continue
+            path = self._path(name)
+            if os.path.isdir(path):
+                shutil.rmtree(path)
+            else:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
 
     def _ensure_dir(self) -> None:
         os.makedirs(self.directory, exist_ok=True)
@@ -177,10 +248,53 @@ class CheckpointStore:
     def _path(self, name: str) -> str:
         return os.path.join(self.directory, name)
 
+    def sweep_stale_tmp(self) -> List[str]:
+        """Remove ``*.tmp`` siblings left by a crash mid-write.
+
+        Atomic writes stage into ``<name>.<random>.tmp`` and
+        ``os.replace`` over the target; a process killed between the
+        two leaves the orphaned staging file behind.  Such orphans are
+        never read (records are addressed by exact name), but they
+        accumulate and confuse operators, so stores sweep them when a
+        run opens.  Returns the removed paths.
+        """
+        removed = []
+        if not os.path.isdir(self.directory):
+            return removed
+        for name in os.listdir(self.directory):
+            if not name.endswith(".tmp"):
+                continue
+            path = self._path(name)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed.append(path)
+        return removed
+
+    @contextlib.contextmanager
+    def exclusive(self, timeout: Optional[float] = None):
+        """Advisory single-owner lock over this store.
+
+        Two processes replaying and appending to the same substore
+        concurrently can interleave sequence numbers and overwrite
+        each other's record batches; holding ``exclusive()`` for the
+        duration of a run makes the second process wait (or fail
+        typed, with a finite ``timeout``) instead.  The lock is
+        advisory — cooperating writers (the engine, the certification
+        service) opt in — and is released automatically by the kernel
+        if the holder dies, so a SIGKILLed owner never wedges the
+        store.
+        """
+        self._ensure_dir()
+        with _flock(self._path(_OWNER_LOCK), timeout=timeout):
+            yield self
+
     # -- header / fingerprint ---------------------------------------
 
     def write_header(self, fingerprint: Dict[str, Any]) -> None:
         self._ensure_dir()
+        self.sweep_stale_tmp()
         _write_atomic_json(self._path("header.json"), {
             "version": JOURNAL_VERSION,
             "fingerprint": fingerprint,
@@ -189,6 +303,7 @@ class CheckpointStore:
     def load_header(self) -> Optional[Dict[str, Any]]:
         if not self.exists():
             return None
+        self.sweep_stale_tmp()
         record = _read_checked_json(self._path("header.json"))
         if record.get("version") != JOURNAL_VERSION:
             raise CheckpointError(
@@ -231,27 +346,53 @@ class CheckpointStore:
         return sorted(found)
 
     def append_record(self, kind: str, payload: Dict[str, Any]) -> int:
-        """Journal one batch; returns its sequence number."""
+        """Journal one batch; returns its sequence number.
+
+        The sequence allocation (list existing, take max + 1, write)
+        is serialised under a short advisory lock so two cooperating
+        processes appending to the same store can never both claim the
+        same number and silently overwrite each other's batch.
+        """
         self._ensure_dir()
-        existing = self._record_files(kind)
-        sequence = existing[-1][0] + 1 if existing else 0
-        record = dict(payload)
-        record["kind"] = kind
-        record["sequence"] = sequence
-        _write_atomic_json(self._path(f"{kind}-{sequence:06d}.json"),
-                           record)
+        with _flock(self._path(_APPEND_LOCK)):
+            existing = self._record_files(kind)
+            sequence = existing[-1][0] + 1 if existing else 0
+            record = dict(payload)
+            record["kind"] = kind
+            record["sequence"] = sequence
+            _write_atomic_json(
+                self._path(f"{kind}-{sequence:06d}.json"), record)
         return sequence
 
-    def load_records(self, kind: str) -> List[Dict[str, Any]]:
-        """All batches of ``kind`` in append order (checksum-verified)."""
+    def load_records(self, kind: str,
+                     tolerate_tail: bool = False
+                     ) -> List[Dict[str, Any]]:
+        """All batches of ``kind`` in append order (checksum-verified).
+
+        With ``tolerate_tail`` a corrupt *last* record is quarantined
+        (renamed ``<name>.corrupt``) and replay continues without it:
+        a torn tail is what a crash racing bit-rot looks like, and the
+        caller (the job-queue journal) can recover the lost event by
+        re-deriving state — whereas a corrupt record in the *middle*
+        of the journal is unambiguous damage and still raises
+        :class:`CheckpointError`.
+        """
         records = []
-        for sequence, path in self._record_files(kind):
-            record = _read_checked_json(path)
-            if record.get("sequence") != sequence:
-                raise CheckpointError(
-                    f"checkpoint record {path!r} carries sequence "
-                    f"{record.get('sequence')!r}, expected {sequence}"
-                )
+        files = self._record_files(kind)
+        for position, (sequence, path) in enumerate(files):
+            try:
+                record = _read_checked_json(path)
+                if record.get("sequence") != sequence:
+                    raise CheckpointError(
+                        f"checkpoint record {path!r} carries sequence "
+                        f"{record.get('sequence')!r}, expected "
+                        f"{sequence}"
+                    )
+            except CheckpointError:
+                if tolerate_tail and position == len(files) - 1:
+                    os.replace(path, path + ".corrupt")
+                    break
+                raise
             records.append(record)
         return records
 

@@ -1,0 +1,65 @@
+"""Crash-safe certification job service.
+
+The paper certifies that fault-tolerant gadgets survive faults; this
+package holds the certification *infrastructure* to the same
+standard.  It promotes the runtime's crash-safe pieces —
+:class:`~repro.runtime.CheckpointStore` journals, supervised
+execution, deterministic chaos — into a durable job system:
+
+* :class:`~repro.service.jobs.JobSpec` — content-addressed
+  certification requests (SHA-256 fingerprint of the canonical spec);
+* :class:`~repro.service.queue.JobQueue` — append-only event journal,
+  token + TTL leases, exponential backoff with deterministic jitter,
+  dead-letter quarantine;
+* :class:`~repro.service.worker.Worker` — claim → cache check →
+  seeded analysis run with per-job checkpoints → streamed progress →
+  token-checked completion;
+* :class:`~repro.service.pool.WorkerPool` /
+  :class:`~repro.service.pool.CertificationService` — forked,
+  supervised workers behind one facade;
+* :class:`~repro.service.cache.ResultCache` — fingerprint → verdict
+  with integrity digests; corrupt entries quarantined and recomputed;
+* :class:`~repro.service.chaos.ServiceChaosPlan` — reproducible
+  worker kills, hangs, forced lease expiries for the chaos suite.
+
+The contract throughout is the runtime's: a correct verdict —
+bit-identical whether or not the run was disturbed — or a typed
+error, never a silently wrong number.
+"""
+
+from repro.service.cache import ResultCache, garble_cache_entry, \
+    verdict_digest
+from repro.service.chaos import ServiceChaosEvent, ServiceChaosPlan
+from repro.service.jobs import DEAD, FAILED, JOB_KINDS, JobSpec, \
+    JobStatus, PENDING, RUNNING, SUCCEEDED, TERMINAL_STATES
+from repro.service.pool import CertificationService, ServiceConfig, \
+    WorkerPool
+from repro.service.queue import JobQueue, Lease, backoff_delay, \
+    truncate_queue_journal
+from repro.service.worker import Worker, submit_and_run
+
+__all__ = [
+    "CertificationService",
+    "DEAD",
+    "FAILED",
+    "JOB_KINDS",
+    "JobQueue",
+    "JobSpec",
+    "JobStatus",
+    "Lease",
+    "PENDING",
+    "RUNNING",
+    "ResultCache",
+    "SUCCEEDED",
+    "ServiceChaosEvent",
+    "ServiceChaosPlan",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "Worker",
+    "WorkerPool",
+    "backoff_delay",
+    "garble_cache_entry",
+    "submit_and_run",
+    "truncate_queue_journal",
+    "verdict_digest",
+]

@@ -1,0 +1,221 @@
+"""Content-addressed verdict cache with integrity checking.
+
+Completed certification verdicts are stored at
+``cache/<fp[:2]>/<fp>.json`` where ``fp`` is the job fingerprint (the
+SHA-256 of the canonical spec, :attr:`repro.service.jobs.JobSpec.
+fingerprint`).  Each entry carries a second SHA-256 over *fingerprint
++ verdict*, so a garbled, truncated or bit-rotted entry is detected
+at read time, quarantined (renamed into ``cache/quarantine/``) and
+reported as a miss — the job is recomputed, never served a poisoned
+verdict.  Metadata (timings, engine stats, worker identity) lives
+*outside* the digest: two runs of the same job on different machines
+produce byte-identical verdict payloads and therefore matching
+digests, which is how the chaos suite asserts bit-identical recovery.
+
+Writes are atomic (tmp + ``os.replace``, the CheckpointStore
+discipline), so a reader racing a writer sees either the old complete
+entry or the new complete entry — never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ServiceError
+from repro.service.jobs import canonical_json
+
+import hashlib
+
+_QUARANTINE = "quarantine"
+
+
+def verdict_digest(fingerprint: str, verdict: Dict[str, Any]) -> str:
+    """SHA-256 binding a verdict payload to its job fingerprint."""
+    blob = fingerprint + "\n" + canonical_json(verdict)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Fingerprint → verdict store, shared by all workers.
+
+    The cache is the service's memoisation layer: a repeated
+    submission of a completed job is answered here with **zero**
+    simulator evaluations (asserted via ``EngineStats.evaluations``
+    in the acceptance suite).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.fspath(directory)
+
+    # -- paths -------------------------------------------------------
+
+    def _entry_path(self, fingerprint: str) -> str:
+        self._check_fingerprint(fingerprint)
+        return os.path.join(self.directory, fingerprint[:2],
+                            fingerprint + ".json")
+
+    @staticmethod
+    def _check_fingerprint(fingerprint: str) -> None:
+        if (not isinstance(fingerprint, str) or len(fingerprint) != 64
+                or any(c not in "0123456789abcdef"
+                       for c in fingerprint)):
+            raise ServiceError(
+                f"malformed cache fingerprint {fingerprint!r} "
+                "(expected 64 lowercase hex digits)"
+            )
+
+    # -- write -------------------------------------------------------
+
+    def put(self, fingerprint: str, verdict: Dict[str, Any],
+            meta: Optional[Dict[str, Any]] = None) -> str:
+        """Store a verdict; returns its integrity digest.
+
+        Idempotent by construction: a second ``put`` of the same
+        (fingerprint, verdict) writes an equivalent entry.  A second
+        put of a *different* verdict for the same fingerprint is a
+        determinism violation upstream; the cache refuses it with a
+        typed error rather than silently picking a winner.
+        """
+        path = self._entry_path(fingerprint)
+        existing = self.get(fingerprint)
+        if existing is not None and existing != verdict:
+            raise ServiceError(
+                f"cache entry {fingerprint[:12]}… already holds a "
+                "different verdict for the same job spec; refusing to "
+                "overwrite (upstream determinism violation)"
+            )
+        record = {
+            "fingerprint": fingerprint,
+            "verdict": verdict,
+            "digest": verdict_digest(fingerprint, verdict),
+            "meta": dict(meta or {}),
+        }
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return record["digest"]
+
+    # -- read --------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached verdict, or None on miss / quarantined entry."""
+        entry = self.get_entry(fingerprint)
+        return None if entry is None else entry["verdict"]
+
+    def get_entry(self, fingerprint: str
+                  ) -> Optional[Dict[str, Any]]:
+        """Full record ``{fingerprint, verdict, digest, meta}``.
+
+        A corrupt entry — unparseable JSON, wrong fingerprint, digest
+        mismatch — is moved to ``quarantine/`` and reported as a
+        miss, so the job is recomputed instead of served a wrong
+        verdict.  Quarantined files keep their bytes for post-mortem.
+        """
+        path = self._entry_path(fingerprint)
+        if not os.path.isfile(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            if not isinstance(record, dict):
+                raise ValueError("cache entry is not an object")
+            if record.get("fingerprint") != fingerprint:
+                raise ValueError("cache entry names another job")
+            verdict = record["verdict"]
+            if record.get("digest") != verdict_digest(fingerprint,
+                                                      verdict):
+                raise ValueError("cache digest mismatch")
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path, fingerprint)
+            return None
+        return record
+
+    def _quarantine(self, path: str, fingerprint: str) -> None:
+        quarantine_dir = os.path.join(self.directory, _QUARANTINE)
+        os.makedirs(quarantine_dir, exist_ok=True)
+        target = os.path.join(
+            quarantine_dir,
+            f"{fingerprint}.{int(time.time() * 1000):x}.corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Lost a race with another reader quarantining the same
+            # entry; the miss verdict stands either way.
+            pass
+
+    # -- inspection --------------------------------------------------
+
+    def quarantined(self) -> List[str]:
+        quarantine_dir = os.path.join(self.directory, _QUARANTINE)
+        if not os.path.isdir(quarantine_dir):
+            return []
+        return sorted(
+            os.path.join(quarantine_dir, name)
+            for name in os.listdir(quarantine_dir)
+        )
+
+    def entries(self) -> List[Tuple[str, str]]:
+        """(fingerprint, path) for every non-quarantined entry."""
+        found = []
+        if not os.path.isdir(self.directory):
+            return found
+        for shard in sorted(os.listdir(self.directory)):
+            if shard == _QUARANTINE:
+                continue
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    found.append((name[:-len(".json")],
+                                  os.path.join(shard_dir, name)))
+        return found
+
+
+def garble_cache_entry(cache: ResultCache, fingerprint: str,
+                       mode: str = "flip") -> str:
+    """Chaos helper: corrupt a cache entry in place.
+
+    ``flip`` rewrites a byte inside the stored verdict so the digest
+    no longer matches; ``truncate`` cuts the file mid-record.  Returns
+    the path garbled.  Used by the chaos suite to certify that a
+    corrupted entry is quarantined and recomputed, never served.
+    """
+    path = cache._entry_path(fingerprint)
+    if not os.path.isfile(path):
+        raise ServiceError(
+            f"no cache entry to garble for {fingerprint[:12]}…"
+        )
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if mode == "truncate":
+        garbled = blob[:max(1, len(blob) // 2)]
+    elif mode == "flip":
+        marker = b'"verdict"'
+        at = blob.find(marker)
+        at = at + len(marker) + 2 if at >= 0 else len(blob) // 2
+        at = min(at, len(blob) - 1)
+        garbled = blob[:at] + bytes([blob[at] ^ 0x01]) + blob[at + 1:]
+    else:
+        raise ServiceError(f"unknown garble mode {mode!r}")
+    with open(path, "wb") as handle:
+        handle.write(garbled)
+    return path

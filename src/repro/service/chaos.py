@@ -1,0 +1,139 @@
+"""Deterministic fault injection for the service layer.
+
+:class:`~repro.runtime.chaos.ChaosPlan` injects faults by engine
+chunk/attempt coordinates; :class:`ServiceChaosPlan` lifts the same
+idea to the job level.  Events are keyed by *(submit_index, attempt,
+hook)* — which job, which retry round, and where in the worker's
+lifecycle ("start": right after the claim, before any execution;
+"batch": after streaming batch ``at``) — so a chaos soak is exactly
+reproducible: the same plan against the same queue injects the same
+kills at the same points every run.
+
+Kinds:
+
+* ``kill_worker`` — ``os._exit(137)``: SIGKILL semantics, no cleanup,
+  no Python finalisers.  The lease must expire and the re-claimed run
+  must resume from the per-job checkpoint bit-identically.
+* ``hang_worker`` — sleep ``seconds`` in place while *holding* the
+  lease.  The heartbeat stops renewing at the deadline, the lease
+  expires under a live-but-stuck holder, and the holder's eventual
+  write must be refused with ``StaleLeaseError``.
+* ``expire_lease`` — force-expire the lease out from under a healthy
+  worker (queue-side), certifying the exactly-once completion path
+  without needing a genuinely slow worker.
+* ``fail_worker`` — raise a typed error from the worker, driving the
+  retry/backoff and dead-letter machinery.
+
+Driver-side corruptions (journal truncation, cache garbling) are not
+events on this plan — they happen *between* worker turns — and live
+next to the structures they damage:
+:func:`repro.service.queue.truncate_queue_journal` and
+:func:`repro.service.cache.garble_cache_entry`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.exceptions import ServiceError
+
+KILL_WORKER = "kill_worker"
+HANG_WORKER = "hang_worker"
+EXPIRE_LEASE = "expire_lease"
+FAIL_WORKER = "fail_worker"
+
+_KINDS = (KILL_WORKER, HANG_WORKER, EXPIRE_LEASE, FAIL_WORKER)
+_HOOKS = ("start", "batch")
+
+
+@dataclass(frozen=True)
+class ServiceChaosEvent:
+    """One injected fault, addressed by job × attempt × hook."""
+
+    submit_index: int
+    attempt: int
+    kind: str
+    hook: str = "start"
+    at: int = 0          # batch index, for hook == "batch"
+    seconds: float = 0.0  # hang duration, for kind == "hang_worker"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ServiceError(
+                f"unknown chaos kind {self.kind!r}; pick from "
+                f"{_KINDS}"
+            )
+        if self.hook not in _HOOKS:
+            raise ServiceError(
+                f"unknown chaos hook {self.hook!r}; pick from "
+                f"{_HOOKS}"
+            )
+
+
+@dataclass
+class ServiceChaosPlan:
+    """The full injection schedule for one soak run."""
+
+    events: List[ServiceChaosEvent] = field(default_factory=list)
+    _fired: Set[Tuple[int, int, str, int]] = field(
+        default_factory=set, repr=False)
+
+    def add(self, event: ServiceChaosEvent) -> "ServiceChaosPlan":
+        self.events.append(event)
+        return self
+
+    def kill(self, submit_index: int, attempt: int = 1,
+             hook: str = "start", at: int = 0) -> "ServiceChaosPlan":
+        return self.add(ServiceChaosEvent(submit_index, attempt,
+                                          KILL_WORKER, hook, at))
+
+    def hang(self, submit_index: int, seconds: float,
+             attempt: int = 1, hook: str = "start",
+             at: int = 0) -> "ServiceChaosPlan":
+        return self.add(ServiceChaosEvent(submit_index, attempt,
+                                          HANG_WORKER, hook, at,
+                                          seconds))
+
+    def expire(self, submit_index: int, attempt: int = 1,
+               hook: str = "start", at: int = 0
+               ) -> "ServiceChaosPlan":
+        return self.add(ServiceChaosEvent(submit_index, attempt,
+                                          EXPIRE_LEASE, hook, at))
+
+    def fail(self, submit_index: int, attempt: int = 1,
+             hook: str = "start", at: int = 0) -> "ServiceChaosPlan":
+        return self.add(ServiceChaosEvent(submit_index, attempt,
+                                          FAIL_WORKER, hook, at))
+
+    def match(self, submit_index: int, attempt: int, hook: str,
+              at: int = 0) -> Optional[ServiceChaosEvent]:
+        for event in self.events:
+            key = (event.submit_index, event.attempt, event.hook,
+                   event.at)
+            if key in self._fired:
+                continue
+            if (event.submit_index == submit_index
+                    and event.attempt == attempt
+                    and event.hook == hook
+                    and (hook != "batch" or event.at == at)):
+                self._fired.add(key)
+                return event
+        return None
+
+    def fire(self, event: ServiceChaosEvent, queue,
+             fingerprint: str) -> None:
+        """Execute one matched event in the worker's context."""
+        if event.kind == KILL_WORKER:
+            os._exit(137)
+        elif event.kind == HANG_WORKER:
+            time.sleep(event.seconds)
+        elif event.kind == EXPIRE_LEASE:
+            queue.expire_lease(fingerprint)
+        elif event.kind == FAIL_WORKER:
+            raise ServiceError(
+                f"chaos: injected worker failure on job "
+                f"{fingerprint[:12]}… (attempt {event.attempt})"
+            )

@@ -1,0 +1,142 @@
+"""Job specifications and content-addressed fingerprints.
+
+A certification *job* is a pure function of its spec: a job kind
+(which analysis entry point runs) plus a canonical parameter dict
+(gadget, code, noise strength, budget, seed).  Two submissions with
+the same spec are the *same* job — they share a fingerprint, a
+checkpoint substore, a queue entry and a cached verdict.  The
+fingerprint is the SHA-256 of the spec's canonical JSON, the same
+content-addressing discipline :class:`~repro.runtime.CheckpointStore`
+applies to record payloads, promoted to the job level.
+
+Determinism is the load-bearing property: every job kind threads an
+explicit seed into a seeded analysis entry point, so a job re-run
+after a crash, a lease expiry or a cache miss must produce a verdict
+*bit-identical* to the undisturbed run.  The service asserts exactly
+that in its chaos suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.exceptions import ServiceError
+
+#: Job states, in lifecycle order.  ``pending`` and ``running`` are
+#: transient; the other three are terminal.
+PENDING = "pending"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+DEAD = "dead"
+
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, DEAD})
+
+#: Kinds the worker knows how to dispatch (see
+#: :mod:`repro.service.worker`).
+JOB_KINDS = ("monte_carlo", "sequential_monte_carlo", "stress_certify")
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One certification request, content-addressed by its params.
+
+    ``kind`` selects the analysis entry point; ``params`` are its
+    keyword arguments in JSON-serialisable form.  The spec is frozen
+    and canonicalised at construction so its fingerprint is stable no
+    matter which process or dict ordering produced it.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def create(cls, kind: str, **params: Any) -> "JobSpec":
+        if kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {kind!r}; pick from {JOB_KINDS}"
+            )
+        try:
+            canonical_json(params)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"job params are not canonically JSON-serialisable: "
+                f"{exc}"
+            ) from exc
+        return cls(kind=kind,
+                   params=tuple(sorted(params.items())))
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params_dict}
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Rebuild a spec from a journal record.
+
+        Deliberately does *not* validate the kind: a journal written
+        by a newer service version must still replay here, with the
+        unknown kind surfacing as a typed dispatch failure (and
+        eventually a dead letter) rather than an unreadable queue.
+        """
+        try:
+            kind = data["kind"]
+            params = dict(data["params"])
+        except (TypeError, KeyError) as exc:
+            raise ServiceError(
+                f"malformed job spec record: {data!r}"
+            ) from exc
+        return cls(kind=str(kind),
+                   params=tuple(sorted(params.items())))
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical spec — the job's identity."""
+        return hashlib.sha256(
+            canonical_json(self.to_json_dict()).encode("utf-8")
+        ).hexdigest()
+
+
+@dataclass
+class JobStatus:
+    """Replay-derived view of one job's queue state."""
+
+    spec: JobSpec
+    fingerprint: str
+    state: str = PENDING
+    attempt: int = 0
+    not_before: float = 0.0
+    submit_index: int = 0
+    worker: str = ""
+    error: str = ""
+    verdict: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_json_dict(),
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "attempt": self.attempt,
+            "submit_index": self.submit_index,
+            "worker": self.worker,
+            "error": self.error,
+            "verdict": self.verdict,
+            "meta": self.meta,
+        }

@@ -1,0 +1,236 @@
+"""Multi-process worker pool and the service facade.
+
+The :class:`WorkerPool` forks ``config.workers`` child processes,
+each running the :class:`~repro.service.worker.Worker` claim loop
+against the shared on-disk queue, and supervises them from the
+parent:
+
+* **reap** — expired leases (dead or silent holders) are returned to
+  ``pending`` every scheduling tick;
+* **kill** — a child whose lease has passed its hard *deadline* is
+  SIGKILLed (it is hung: a healthy worker would have finished or
+  stopped heartbeating on its own), which also releases any advisory
+  store locks it held;
+* **respawn** — children that exit (chaos kills, deadline kills,
+  crashes) are replaced while undrained work remains, up to the
+  configured pool size.
+
+Coordination is entirely through the filesystem — journal, lease
+files, advisory locks — so the pool tolerates losing *any* process,
+including the parent: a fresh pool pointed at the same root resumes
+exactly where the dead one stopped.
+
+:class:`CertificationService` bundles queue + cache + pool behind
+the small facade the CLI and the tests use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ServiceError
+from repro.runtime.policy import RuntimePolicy
+from repro.service.cache import ResultCache
+from repro.service.chaos import ServiceChaosPlan
+from repro.service.jobs import JobSpec, JobStatus
+from repro.service.queue import JobQueue
+from repro.service.worker import Worker
+
+
+@dataclass
+class ServiceConfig:
+    """Every scheduling knob in one place.
+
+    Defaults suit interactive runs; tests shrink the timing knobs to
+    tens of milliseconds so chaos scenarios resolve in seconds.
+    """
+
+    workers: int = 2
+    lease_ttl: float = 30.0
+    heartbeat_interval: Optional[float] = None
+    job_deadline: float = 3600.0
+    max_attempts: int = 3
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    poll_interval: float = 0.05
+    store_lock_timeout: float = 10.0
+
+
+def _worker_main(root: str, config: ServiceConfig, name: str,
+                 chaos: Optional[ServiceChaosPlan],
+                 runtime: Optional[RuntimePolicy]) -> None:
+    """Child-process entry: claim until the queue drains."""
+    service = CertificationService(root, config=config, chaos=chaos,
+                                   runtime=runtime)
+    worker = service.worker(name)
+    while True:
+        acted = worker.run_once()
+        if acted is not None:
+            continue
+        if service.queue.drained:
+            return
+        time.sleep(config.poll_interval)
+
+
+class WorkerPool:
+    """Forks and supervises the worker processes."""
+
+    def __init__(self, root: str, config: ServiceConfig,
+                 chaos: Optional[ServiceChaosPlan] = None,
+                 runtime: Optional[RuntimePolicy] = None) -> None:
+        if config.workers < 1:
+            raise ServiceError(
+                f"pool needs >= 1 worker, got {config.workers}"
+            )
+        self.root = os.fspath(root)
+        self.config = config
+        self.chaos = chaos
+        self.runtime = runtime
+        self._context = multiprocessing.get_context("fork")
+        self._children: List[multiprocessing.Process] = []
+        self._spawned = 0
+
+    def _spawn(self) -> None:
+        self._spawned += 1
+        name = f"worker-{self._spawned}"
+        child = self._context.Process(
+            target=_worker_main,
+            args=(self.root, self.config, name, self.chaos,
+                  self.runtime),
+            name=name, daemon=True)
+        child.start()
+        self._children.append(child)
+
+    def _kill_overdeadline(self, queue: JobQueue) -> int:
+        """SIGKILL children hung past their job's hard deadline."""
+        now = queue.clock()
+        hung_workers = {
+            lease.get("worker") for lease in queue.leases()
+            if now > float(lease.get("deadline_at", now + 1.0))
+        }
+        killed = 0
+        for child in self._children:
+            if child.name in hung_workers and child.is_alive():
+                os.kill(child.pid, signal.SIGKILL)
+                child.join(timeout=5.0)
+                killed += 1
+        return killed
+
+    def run_until_drained(self, queue: JobQueue,
+                          timeout: float = 600.0) -> Dict[str, int]:
+        """Supervise until every job is terminal; returns counts.
+
+        Raises :class:`ServiceError` at timeout with the queue's
+        counts in the message, after stopping all children.
+        """
+        deadline = time.monotonic() + timeout
+        incidents = {"respawns": 0, "deadline_kills": 0,
+                     "reaped_leases": 0}
+        try:
+            while not queue.drained:
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"pool timed out after {timeout:g}s with "
+                        f"queue counts {queue.counts()}"
+                    )
+                incidents["deadline_kills"] += \
+                    self._kill_overdeadline(queue)
+                incidents["reaped_leases"] += \
+                    len(queue.reap_expired())
+                self._children = [child for child in self._children
+                                  if child.is_alive()]
+                while len(self._children) < self.config.workers:
+                    self._spawn()
+                    if self._spawned > self.config.workers:
+                        incidents["respawns"] += 1
+                time.sleep(self.config.poll_interval)
+        finally:
+            self.stop()
+        return incidents
+
+    def stop(self) -> None:
+        for child in self._children:
+            if child.is_alive():
+                child.terminate()
+            child.join(timeout=5.0)
+        self._children = []
+
+
+class CertificationService:
+    """Queue + cache + pool behind one handle.
+
+    Layout under ``root``::
+
+        <root>/queue/   the JobQueue (journal, leases, jobs, ...)
+        <root>/cache/   the ResultCache shards
+
+    The handle is cheap and stateless — every process (submitters,
+    workers, watchers) opens its own against the same root.
+    """
+
+    def __init__(self, root: str,
+                 config: Optional[ServiceConfig] = None,
+                 chaos: Optional[ServiceChaosPlan] = None,
+                 runtime: Optional[RuntimePolicy] = None) -> None:
+        self.root = os.fspath(root)
+        self.config = config or ServiceConfig()
+        self.chaos = chaos
+        self.runtime = runtime
+        self.queue = JobQueue(
+            os.path.join(self.root, "queue"),
+            lease_ttl=self.config.lease_ttl,
+            job_deadline=self.config.job_deadline,
+            max_attempts=self.config.max_attempts,
+            backoff_base=self.config.backoff_base,
+            backoff_factor=self.config.backoff_factor,
+            backoff_jitter=self.config.backoff_jitter)
+        self.cache = ResultCache(os.path.join(self.root, "cache"))
+
+    # -- submission / inspection -------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        return self.queue.submit(spec)
+
+    def status(self, fingerprint: str) -> Optional[JobStatus]:
+        return self.queue.status(fingerprint)
+
+    def watch(self, fingerprint: str, **kwargs):
+        return self.queue.watch(fingerprint, **kwargs)
+
+    def counts(self) -> Dict[str, int]:
+        return self.queue.counts()
+
+    # -- execution ---------------------------------------------------
+
+    def worker(self, name: str = "worker") -> Worker:
+        return Worker(
+            self.queue, self.cache, name=name,
+            heartbeat_interval=self.config.heartbeat_interval,
+            runtime=self.runtime, chaos=self.chaos,
+            store_lock_timeout=self.config.store_lock_timeout)
+
+    def run_until_drained(self, timeout: float = 600.0
+                          ) -> Dict[str, Any]:
+        """Drain the queue; forked pool or in-process.
+
+        ``config.workers == 0`` runs a single in-process worker (no
+        fork — deterministic, debuggable, used by most tests); any
+        positive count forks a supervised pool.
+        """
+        if self.config.workers == 0:
+            turns = self.worker().run_until_drained(
+                poll=self.config.poll_interval, timeout=timeout)
+            return {"mode": "in-process", "turns": turns,
+                    "counts": self.counts()}
+        pool = WorkerPool(self.root, self.config, chaos=self.chaos,
+                          runtime=self.runtime)
+        incidents = pool.run_until_drained(self.queue,
+                                           timeout=timeout)
+        return {"mode": "pool", "counts": self.counts(),
+                **incidents}

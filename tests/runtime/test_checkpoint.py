@@ -183,3 +183,108 @@ class TestCorruptionDetection:
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write("{\"half\": ")
         assert len(store.load_records("verdicts")) == 1
+
+
+class TestHardening:
+    """Stale-tmp sweeping, advisory locks, tail-tolerant replay."""
+
+    def test_sweep_stale_tmp_removes_orphans(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"))
+        store.write_header({"seed": 0})
+        orphan = os.path.join(store.directory,
+                              "verdicts-000000.json.abc123.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("{\"half\": ")
+        removed = store.sweep_stale_tmp()
+        assert removed == [orphan]
+        assert not os.path.exists(orphan)
+
+    def test_open_sweeps_stale_tmp(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"))
+        store.write_header({"seed": 0})
+        orphan = os.path.join(store.directory, "cursor.json.x.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("{")
+        store.load_header()  # any open path sweeps
+        assert not os.path.exists(orphan)
+
+    def test_sweep_leaves_real_records_alone(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"))
+        store.write_header({"seed": 0})
+        store.append_record("points", {"x": 1})
+        store.sweep_stale_tmp()
+        assert store.load_header() is not None
+        assert len(store.load_records("points")) == 1
+
+    def test_exclusive_lock_blocks_second_owner(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"))
+        rival = CheckpointStore(str(tmp_path / "run"))
+        with store.exclusive():
+            with pytest.raises(CheckpointError, match="lock"):
+                with rival.exclusive(timeout=0.1):
+                    pass
+        # released: the rival may now own it
+        with rival.exclusive(timeout=0.1):
+            pass
+
+    def test_exclusive_lock_survives_clear(self, tmp_path):
+        # clear() must not delete a held lock file: a third process
+        # could otherwise lock a fresh file of the same name and
+        # believe itself the exclusive owner.
+        store = CheckpointStore(str(tmp_path / "run"))
+        rival = CheckpointStore(str(tmp_path / "run"))
+        with store.exclusive():
+            store.clear()
+            with pytest.raises(CheckpointError, match="lock"):
+                with rival.exclusive(timeout=0.1):
+                    pass
+
+    def test_clear_wipes_records(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"))
+        store.write_header({"seed": 0})
+        store.append_record("points", {"x": 1})
+        store.substore("child").write_header({"seed": 1})
+        store.clear()
+        assert not store.exists()
+        assert store.load_records("points") == []
+        assert not store.substore("child").exists()
+
+    def test_concurrent_appends_never_collide(self, tmp_path):
+        # Two handles to one store appending under the advisory
+        # append lock allocate distinct sequence numbers.
+        a = CheckpointStore(str(tmp_path / "run"))
+        b = CheckpointStore(str(tmp_path / "run"))
+        for index in range(5):
+            (a if index % 2 else b).append_record("points",
+                                                  {"i": index})
+        records = a.load_records("points")
+        assert [r["i"] for r in records] == list(range(5))
+        assert [r["sequence"] for r in records] == list(range(5))
+
+    def test_tolerate_tail_quarantines_torn_last_record(self,
+                                                        tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"))
+        store.append_record("events", {"i": 0})
+        store.append_record("events", {"i": 1})
+        tail = os.path.join(store.directory, "events-000001.json")
+        with open(tail, "r+", encoding="utf-8") as handle:
+            handle.truncate(20)
+        records = store.load_records("events", tolerate_tail=True)
+        assert [r["i"] for r in records] == [0]
+        corrupt = [name for name in os.listdir(store.directory)
+                   if name.endswith(".corrupt")]
+        assert len(corrupt) == 1
+        # replay is now clean and appends continue past the tear
+        store.append_record("events", {"i": 2})
+        records = store.load_records("events", tolerate_tail=True)
+        assert [r["i"] for r in records] == [0, 2]
+
+    def test_mid_journal_corruption_still_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run"))
+        store.append_record("events", {"i": 0})
+        store.append_record("events", {"i": 1})
+        first = os.path.join(store.directory, "events-000000.json")
+        with open(first, "w", encoding="utf-8") as handle:
+            handle.write("{ torn")
+        with pytest.raises(CheckpointError):
+            store.load_records("events", tolerate_tail=True)

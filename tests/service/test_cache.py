@@ -1,0 +1,114 @@
+"""ResultCache: integrity, quarantine, never-serve-corrupt."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    JobSpec,
+    ResultCache,
+    garble_cache_entry,
+    verdict_digest,
+)
+
+VERDICT = {"kind": "monte_carlo", "trials": 10, "failures": 1}
+
+
+def _fp(seed: int = 1) -> str:
+    return JobSpec.create("monte_carlo", seed=seed).fingerprint
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = _fp()
+        cache.put(fp, VERDICT, meta={"worker": "w1"})
+        assert cache.get(fp) == VERDICT
+        entry = cache.get_entry(fp)
+        assert entry["meta"]["worker"] == "w1"
+        assert entry["digest"] == verdict_digest(fp, VERDICT)
+
+    def test_miss_is_none(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(_fp()) is None
+
+    def test_put_is_idempotent(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = _fp()
+        d1 = cache.put(fp, VERDICT)
+        d2 = cache.put(fp, VERDICT)
+        assert d1 == d2
+
+    def test_conflicting_put_is_refused(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = _fp()
+        cache.put(fp, VERDICT)
+        with pytest.raises(ServiceError, match="determinism"):
+            cache.put(fp, {**VERDICT, "failures": 2})
+
+    def test_meta_outside_digest(self, tmp_path):
+        """Two runs with different meta produce the same digest."""
+        cache = ResultCache(str(tmp_path))
+        fp = _fp()
+        d1 = cache.put(fp, VERDICT, meta={"worker": "a"})
+        d2 = cache.put(fp, VERDICT, meta={"worker": "b",
+                                          "elapsed": 3.2})
+        assert d1 == d2
+
+    @pytest.mark.parametrize("mode", ["flip", "truncate"])
+    def test_garbled_entry_quarantined_not_served(self, tmp_path,
+                                                  mode):
+        cache = ResultCache(str(tmp_path))
+        fp = _fp()
+        cache.put(fp, VERDICT)
+        garble_cache_entry(cache, fp, mode=mode)
+        assert cache.get(fp) is None          # miss, not poison
+        assert len(cache.quarantined()) == 1  # bytes kept
+        assert cache.entries() == []
+
+    def test_recompute_after_quarantine(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = _fp()
+        cache.put(fp, VERDICT)
+        garble_cache_entry(cache, fp)
+        assert cache.get(fp) is None
+        cache.put(fp, VERDICT)  # the recompute re-caches cleanly
+        assert cache.get(fp) == VERDICT
+        assert len(cache.quarantined()) == 1
+
+    def test_entry_for_wrong_job_is_quarantined(self, tmp_path):
+        """An entry renamed to another fingerprint must not serve."""
+        cache = ResultCache(str(tmp_path))
+        fp_a, fp_b = _fp(1), _fp(2)
+        cache.put(fp_a, VERDICT)
+        src = cache._entry_path(fp_a)
+        dst = cache._entry_path(fp_b)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        os.rename(src, dst)
+        assert cache.get(fp_b) is None
+        assert len(cache.quarantined()) == 1
+
+    def test_digest_binds_fingerprint(self):
+        assert verdict_digest(_fp(1), VERDICT) \
+            != verdict_digest(_fp(2), VERDICT)
+
+    def test_malformed_fingerprint_is_typed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ServiceError, match="malformed"):
+            cache.get("../../etc/passwd")
+
+    def test_garble_missing_entry_is_typed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ServiceError, match="no cache entry"):
+            garble_cache_entry(cache, _fp())
+
+    def test_entries_lists_fingerprints(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fps = sorted(_fp(s) for s in (1, 2, 3))
+        for fp in fps:
+            cache.put(fp, VERDICT)
+        assert sorted(fp for fp, _ in cache.entries()) == fps

@@ -1,0 +1,224 @@
+"""Service-level chaos: every scenario ends correct-or-typed-error.
+
+Each test injects one fault class from the tentpole list — kill a
+worker mid-lease, hang a worker until its lease expires, expire a
+lease under a live worker, truncate the queue journal, garble a cache
+entry — and certifies the recovered verdict is *bit-identical* to an
+undisturbed run of the same spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    CertificationService,
+    JobSpec,
+    SUCCEEDED,
+    ServiceChaosEvent,
+    ServiceChaosPlan,
+    garble_cache_entry,
+    truncate_queue_journal,
+)
+from repro.exceptions import ServiceError
+
+from tests.service.conftest import fast_config, mc_spec, needs_fork, \
+    seq_spec
+
+
+def _undisturbed_verdict(tmp_path, spec: JobSpec) -> dict:
+    service = CertificationService(str(tmp_path / "reference"),
+                                   config=fast_config())
+    fp = service.submit(spec)
+    service.worker("ref").run_until_drained(timeout=120.0)
+    status = service.status(fp)
+    assert status.state == SUCCEEDED
+    return status.verdict
+
+
+class TestChaosPlan:
+    def test_events_fire_once(self):
+        plan = ServiceChaosPlan().fail(0, attempt=1)
+        assert plan.match(0, 1, "start") is not None
+        assert plan.match(0, 1, "start") is None
+
+    def test_match_is_coordinate_exact(self):
+        plan = ServiceChaosPlan().fail(2, attempt=3, hook="batch",
+                                       at=1)
+        assert plan.match(2, 3, "batch", at=0) is None
+        assert plan.match(2, 2, "batch", at=1) is None
+        assert plan.match(1, 3, "batch", at=1) is None
+        assert plan.match(2, 3, "batch", at=1) is not None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown chaos kind"):
+            ServiceChaosEvent(0, 1, "segfault")
+
+
+class TestInjectedWorkerFailure:
+    def test_fail_then_retry_recovers_identically(self, tmp_path):
+        spec = mc_spec()
+        reference = _undisturbed_verdict(tmp_path, spec)
+        chaos = ServiceChaosPlan().fail(0, attempt=1)
+        service = CertificationService(str(tmp_path / "svc"),
+                                       config=fast_config(),
+                                       chaos=chaos)
+        fp = service.submit(spec)
+        worker = service.worker("w1")
+        worker.run_until_drained(timeout=60.0)
+        status = service.status(fp)
+        assert status.state == SUCCEEDED
+        assert status.attempt == 2
+        assert "chaos" in status.error or status.error == ""
+        assert status.verdict == reference
+
+    def test_persistent_failure_dead_letters(self, tmp_path):
+        chaos = ServiceChaosPlan()
+        for attempt in (1, 2, 3):
+            chaos.fail(0, attempt=attempt)
+        service = CertificationService(str(tmp_path / "svc"),
+                                       config=fast_config(),
+                                       chaos=chaos)
+        fp = service.submit(mc_spec())
+        service.worker("w1").run_until_drained(timeout=60.0)
+        status = service.status(fp)
+        assert status.state == "dead"
+        assert "chaos" in status.error
+        assert service.queue.deadletters()
+
+
+class TestExpireUnderLiveWorker:
+    def test_live_holder_refused_then_job_recovers(self, tmp_path):
+        """The lease is forced away mid-run; the holder's completion
+        is refused, the retry serves the (content-addressed) cached
+        verdict, and the final verdict matches undisturbed."""
+        spec = mc_spec(trials=80)
+        reference = _undisturbed_verdict(tmp_path, spec)
+        chaos = ServiceChaosPlan().expire(0, attempt=1,
+                                          hook="batch", at=0)
+        service = CertificationService(str(tmp_path / "svc"),
+                                       config=fast_config(),
+                                       chaos=chaos)
+        fp = service.submit(spec)
+        service.worker("w1").run_until_drained(timeout=60.0)
+        status = service.status(fp)
+        assert status.state == SUCCEEDED
+        assert status.attempt == 2
+        assert status.verdict == reference
+        events = service.queue.journal.load_records("events")
+        completes = [e for e in events
+                     if e["event"] == "complete"]
+        assert len(completes) == 1
+
+
+class TestJournalTruncation:
+    def test_truncated_completion_recovers_from_cache(self, tmp_path):
+        """Tear the final journal record after a completion: the
+        re-derived queue re-runs the job, which the ResultCache
+        answers with zero simulator evaluations."""
+        spec = mc_spec()
+        service = CertificationService(str(tmp_path / "svc"),
+                                       config=fast_config())
+        fp = service.submit(spec)
+        service.worker("w1").run_until_drained(timeout=60.0)
+        reference = service.status(fp).verdict
+        truncate_queue_journal(service.queue)
+        service.worker("w2").run_until_drained(timeout=60.0)
+        status = service.status(fp)
+        assert status.state == SUCCEEDED
+        assert status.verdict == reference
+        assert status.meta["cache_hit"] is True
+        assert status.meta["evaluations"] == 0
+
+
+class TestCacheGarbling:
+    @pytest.mark.parametrize("mode", ["flip", "truncate"])
+    def test_garbled_verdict_recomputed_not_served(self, tmp_path,
+                                                   mode):
+        spec = mc_spec()
+        service = CertificationService(str(tmp_path / "svc"),
+                                       config=fast_config())
+        fp = service.submit(spec)
+        service.worker("w1").run_until_drained(timeout=60.0)
+        reference = service.status(fp).verdict
+        garble_cache_entry(service.cache, fp, mode=mode)
+        service.submit(spec)
+        service.worker("w2").run_until_drained(timeout=60.0)
+        status = service.status(fp)
+        assert status.state == SUCCEEDED
+        assert status.verdict == reference       # recomputed
+        assert status.meta["cache_hit"] is False  # not served
+        # the recompute drove the engine (the per-job checkpoint
+        # journal may satisfy it without fresh simulator runs — that
+        # replay is itself checksummed, so still correct-or-error)
+        assert status.meta["engine"] is not None
+        assert status.meta["engine"]["requests"] > 0
+        assert service.cache.quarantined()
+        # and the recompute re-primed the cache
+        assert service.cache.get(fp) == reference
+
+
+@needs_fork
+class TestKilledWorker:
+    def test_sigkill_mid_lease_resumes_bit_identically(self,
+                                                       tmp_path):
+        """A worker SIGKILLed mid-job (no cleanup, no finalisers)
+        loses its lease; the re-claimed attempt resumes from the
+        per-job checkpoint and lands the identical verdict."""
+        spec = mc_spec(trials=80)
+        reference = _undisturbed_verdict(tmp_path, spec)
+        chaos = ServiceChaosPlan().kill(0, attempt=1, hook="batch",
+                                        at=0)
+        service = CertificationService(
+            str(tmp_path / "svc"),
+            config=fast_config(workers=1, lease_ttl=0.5,
+                               job_deadline=60.0),
+            chaos=chaos)
+        fp = service.submit(spec)
+        outcome = service.run_until_drained(timeout=120.0)
+        assert outcome["counts"] == {"succeeded": 1}
+        status = service.status(fp)
+        assert status.attempt == 2
+        assert status.verdict == reference
+        engine = status.meta.get("engine") or {}
+        assert engine.get("resumed_verdicts", 0) > 0
+
+    def test_sequential_kill_resumes_identically(self, tmp_path):
+        spec = seq_spec(p=0.05, p0=0.001, p1=0.03, max_trials=400,
+                        batch_size=50, seed=13)
+        reference = _undisturbed_verdict(tmp_path, spec)
+        chaos = ServiceChaosPlan().kill(0, attempt=1, hook="batch",
+                                        at=0)
+        service = CertificationService(
+            str(tmp_path / "svc"),
+            config=fast_config(workers=1, lease_ttl=0.5,
+                               job_deadline=60.0),
+            chaos=chaos)
+        fp = service.submit(spec)
+        service.run_until_drained(timeout=120.0)
+        status = service.status(fp)
+        assert status.state == SUCCEEDED
+        assert status.attempt == 2
+        assert status.verdict == reference
+
+    def test_hung_worker_killed_and_job_reassigned(self, tmp_path):
+        """A worker hangs past its deadline while holding the lease;
+        the pool SIGKILLs it (releasing its advisory store lock) and
+        the respawned worker finishes the job."""
+        spec = mc_spec(trials=80)
+        reference = _undisturbed_verdict(tmp_path, spec)
+        chaos = ServiceChaosPlan().hang(0, seconds=30.0, attempt=1,
+                                        hook="batch", at=0)
+        service = CertificationService(
+            str(tmp_path / "svc"),
+            config=fast_config(workers=1, lease_ttl=0.4,
+                               heartbeat_interval=0.1,
+                               job_deadline=1.0),
+            chaos=chaos)
+        fp = service.submit(spec)
+        outcome = service.run_until_drained(timeout=120.0)
+        assert outcome["counts"] == {"succeeded": 1}
+        assert outcome["deadline_kills"] >= 1
+        status = service.status(fp)
+        assert status.attempt >= 2
+        assert status.verdict == reference

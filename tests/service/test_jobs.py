@@ -1,0 +1,54 @@
+"""JobSpec canonicalisation and content addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import JobSpec
+
+
+class TestJobSpec:
+    def test_fingerprint_is_order_insensitive(self):
+        a = JobSpec.create("monte_carlo", p=0.01, trials=10, seed=1)
+        b = JobSpec.create("monte_carlo", seed=1, trials=10, p=0.01)
+        assert a == b
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_distinguishes_params(self):
+        a = JobSpec.create("monte_carlo", p=0.01, trials=10, seed=1)
+        b = JobSpec.create("monte_carlo", p=0.01, trials=10, seed=2)
+        assert a.fingerprint != b.fingerprint
+
+    def test_fingerprint_distinguishes_kind(self):
+        a = JobSpec.create("monte_carlo", seed=1)
+        b = JobSpec.create("stress_certify", seed=1)
+        assert a.fingerprint != b.fingerprint
+
+    def test_fingerprint_is_sha256_hex(self):
+        spec = JobSpec.create("monte_carlo", seed=1)
+        assert len(spec.fingerprint) == 64
+        assert set(spec.fingerprint) <= set("0123456789abcdef")
+
+    def test_roundtrips_through_json(self):
+        spec = JobSpec.create("sequential_monte_carlo", p0=0.01,
+                              p1=0.1, seed=3, max_trials=100)
+        clone = JobSpec.from_json_dict(spec.to_json_dict())
+        assert clone == spec
+        assert clone.fingerprint == spec.fingerprint
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            JobSpec.create("nope", seed=1)
+
+    def test_rejects_unserialisable_params(self):
+        with pytest.raises(ServiceError, match="serialisable"):
+            JobSpec.create("monte_carlo", evil=object())
+
+    def test_rejects_nan_params(self):
+        with pytest.raises(ServiceError, match="serialisable"):
+            JobSpec.create("monte_carlo", p=float("nan"))
+
+    def test_malformed_record_is_typed(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            JobSpec.from_json_dict({"kind": "monte_carlo"})

@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.ensemble",
     "repro.ft",
     "repro.noise",
+    "repro.service",
     "repro.simulators",
 ]
 
@@ -76,8 +77,8 @@ class TestExamplesCompile:
         assert {"quickstart.py", "ensemble_algorithms.py",
                 "fault_tolerant_t_gate.py",
                 "measurement_free_toffoli.py", "error_recovery.py",
-                "algorithmic_cooling.py",
-                "logical_program.py"} <= names
+                "algorithmic_cooling.py", "logical_program.py",
+                "certification_service.py"} <= names
 
 
 class TestDocumentationPresence:

@@ -1,0 +1,130 @@
+"""E11 — networked certification: HTTP overhead and merge economics.
+
+The tentpole claim of the network layer is that it adds *failure
+modes*, not cost: submitting through the stdlib HTTP front-end and
+polling the journaled sweep merge should cost milliseconds per
+request over driving the queue directly, and re-merging an
+already-complete sweep is a constant-time journal read (the queue is
+never consulted again).
+
+Emits ``results/BENCH_service_net.json`` with per-request submission
+latency (direct vs HTTP), drain timings and merge/re-merge timings.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.service import (
+    SUCCEEDED,
+    CertificationServer,
+    CertificationService,
+    ServiceClient,
+    ServiceConfig,
+    SweepSpec,
+    merge_sweep,
+    submit_sweep,
+)
+
+from _harness import json_artifact, report, series_lines
+
+#: Sweep size knobs; CI smoke runs shrink via the environment.
+P_POINTS = int(os.environ.get("BENCH_NET_P_POINTS", "6"))
+TRIALS = int(os.environ.get("BENCH_NET_TRIALS", "60"))
+SEED = 20260808
+
+
+def _sweep() -> SweepSpec:
+    grid = tuple(round(0.005 * (i + 1), 6) for i in range(P_POINTS))
+    return SweepSpec.create(
+        "monte_carlo", code="trivial", gadgets=("n", "recovery"),
+        p_grid=grid, seed=SEED, trials=TRIALS,
+        chunk_size=max(TRIALS // 3, 1))
+
+
+def test_http_submission_and_merge_overhead(benchmark):
+    """Direct submits vs HTTP submits; merge vs journal re-merge."""
+    sweep = _sweep()
+    cells = sweep.cells()
+    root = tempfile.mkdtemp(prefix="bench-net-")
+
+    def run_experiment():
+        shutil.rmtree(root, ignore_errors=True)
+
+        # Baseline: the same cell specs straight into the queue.
+        direct = CertificationService(
+            os.path.join(root, "direct"),
+            config=ServiceConfig(workers=0))
+        start = time.time()
+        for cell in cells:
+            direct.submit(cell.spec)
+        direct_submit = time.time() - start
+
+        service = CertificationService(
+            os.path.join(root, "net"),
+            config=ServiceConfig(workers=0))
+        with CertificationServer(service) as server:
+            client = ServiceClient(*server.address, timeout=10.0)
+            start = time.time()
+            for cell in cells:
+                client.submit(cell.spec)
+            http_submit = time.time() - start
+            submit_sweep(service, sweep)  # registers the merge store
+
+            start = time.time()
+            service.worker("bench").run_until_drained(timeout=600.0)
+            drain_seconds = time.time() - start
+
+            start = time.time()
+            table = client.wait_sweep(sweep.fingerprint,
+                                      timeout=60.0)
+            merge_seconds = time.time() - start
+            # Once complete, the merge is a pure journal read.
+            start = time.time()
+            again = merge_sweep(service, sweep)
+            remerge_seconds = time.time() - start
+        return (direct_submit, http_submit, drain_seconds,
+                merge_seconds, remerge_seconds, table, again)
+
+    (direct_submit, http_submit, drain_seconds, merge_seconds,
+     remerge_seconds, table, again) = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+
+    jobs = len(cells)
+    assert table["complete"] and table["counts"] == {SUCCEEDED: jobs}
+    assert again == table  # the re-merge is the journaled table
+
+    rows = [
+        ("direct queue submit", f"{direct_submit:.3f}",
+         f"{direct_submit / jobs * 1e3:.1f}"),
+        ("HTTP submit", f"{http_submit:.3f}",
+         f"{http_submit / jobs * 1e3:.1f}"),
+        ("drain (in-process)", f"{drain_seconds:.3f}",
+         f"{drain_seconds / jobs * 1e3:.1f}"),
+        ("merge via HTTP", f"{merge_seconds:.3f}", "-"),
+        ("re-merge (journal only)", f"{remerge_seconds:.3f}", "-"),
+    ]
+    report("E11 — networked submission and sweep-merge overhead", [
+        f"workload: {jobs}-cell sweep ({P_POINTS} p-points x 2 "
+        f"gadgets), {TRIALS} trials/cell, trivial code",
+        *series_lines(("pass", "seconds", "ms/req"), rows),
+        "",
+        f"HTTP submission overhead: "
+        f"{(http_submit - direct_submit) / jobs * 1e3:+.1f} "
+        f"ms/request over the direct queue",
+    ])
+    json_artifact("BENCH_service_net.json", {
+        "cells": jobs,
+        "p_points": P_POINTS,
+        "trials": TRIALS,
+        "seed": SEED,
+        "direct_submit_seconds": direct_submit,
+        "http_submit_seconds": http_submit,
+        "http_overhead_ms_per_request":
+            (http_submit - direct_submit) / jobs * 1e3,
+        "drain_seconds": drain_seconds,
+        "merge_seconds": merge_seconds,
+        "remerge_seconds": remerge_seconds,
+    })
+    shutil.rmtree(root, ignore_errors=True)

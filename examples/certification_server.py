@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Drive the networked certification service end to end.
+
+Starts the stdlib HTTP :class:`~repro.service.CertificationServer`
+over a durable on-disk service, then acts as a remote client: a
+threshold sweep (gadget × p grid) is submitted as **one**
+content-addressed claim, decomposed into per-cell queue jobs, drained
+by a worker while the client polls the crash-safe journaled merge —
+all over the wire.
+
+``--net-chaos`` turns the demo into a live network fault drill: the
+request stream is hit with a dropped request, a garbled response, an
+at-least-once duplicate, a mid-response disconnect and a congestion
+delay at exact request coordinates.  The client's timeout/backoff/
+resubmit machinery rides through all of it, and the demo proves the
+merged verdict table is **bit-identical** to an undisturbed
+in-process run of the same sweep — the networked path adds failure
+modes, never new answers.
+
+Run:  PYTHONPATH=src python examples/certification_server.py
+      [--p-points N] [--trials T] [--seed S] [--workers W]
+      [--net-chaos] [--root DIR] [--out DIR]
+
+``--out`` writes ``server_report.json`` (merged table, client retry
+stats, server request tallies).  Exit status is 0 only when the sweep
+completes, matches the reference bit-for-bit, and every injected
+network fault actually fired.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.service import (
+    CertificationServer,
+    CertificationService,
+    NetChaosPlan,
+    ServiceClient,
+    ServiceConfig,
+    SweepSpec,
+    run_sweep_inprocess,
+)
+
+
+def build_sweep(args) -> SweepSpec:
+    grid = tuple(round(0.005 * (i + 1), 6)
+                 for i in range(args.p_points))
+    return SweepSpec.create(
+        "monte_carlo", code="trivial", gadgets=("n", "recovery"),
+        p_grid=grid, seed=args.seed, trials=args.trials,
+        chunk_size=max(args.trials // 3, 1))
+
+
+def build_net_chaos() -> NetChaosPlan:
+    """One of each network fault kind, at fixed coordinates."""
+    return (NetChaosPlan()
+            .drop("submit", 0)
+            .garble("submit", 1)
+            .duplicate("sweep_submit", 0)
+            .delay("sweep_status", 0, 0.1)
+            .disconnect("sweep_status", 1)
+            .garble("sweep_status", 2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Networked certification service demo")
+    parser.add_argument("--p-points", type=int, default=4,
+                        help="noise grid size (cells = 2 x this)")
+    parser.add_argument("--trials", type=int, default=60,
+                        help="Monte-Carlo trials per cell")
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool size; 0 = one in-process worker")
+    parser.add_argument("--net-chaos", action="store_true",
+                        help="inject drop/garble/duplicate/delay/"
+                             "disconnect faults on the request "
+                             "stream")
+    parser.add_argument("--root", default=None,
+                        help="service root (default: fresh temp dir)")
+    parser.add_argument("--out", default=None,
+                        help="directory for server_report.json")
+    args = parser.parse_args(argv)
+
+    root = args.root or tempfile.mkdtemp(prefix="repro-server-")
+    cleanup = args.root is None
+    sweep = build_sweep(args)
+    cells = sweep.cells()
+    plan = build_net_chaos() if args.net_chaos else None
+    config = ServiceConfig(workers=args.workers, lease_ttl=10.0,
+                           job_deadline=120.0, max_attempts=3,
+                           backoff_base=0.1)
+    service = CertificationService(root, config=config)
+
+    print(f"service root: {root}")
+    print(f"sweep {sweep.fingerprint[:12]}…: "
+          f"{len(cells)} cells over gadgets {list(sweep.gadgets)} "
+          f"x p {list(sweep.p_grid)} "
+          f"({'network chaos on' if plan else 'no chaos'})")
+
+    # The undisturbed serial reference the networked run must match.
+    reference = run_sweep_inprocess(
+        sweep, tempfile.mkdtemp(prefix="repro-server-ref-"))
+
+    with CertificationServer(service, net_chaos=plan) as server:
+        host, port = server.address
+        print(f"server listening on http://{host}:{port}")
+        client = ServiceClient(host, port, timeout=3.0,
+                               max_attempts=6, backoff_base=0.05)
+
+        # A couple of individually-submitted cells first (these meet
+        # the submit-op faults), then the whole sweep — which dedups
+        # them via content addressing.
+        for cell in cells[:2]:
+            client.submit(cell.spec)
+        receipt = client.submit_sweep(sweep)
+        print(f"sweep submitted: {receipt['submitted']} new cells, "
+              f"{receipt['deduplicated']} deduplicated")
+
+        start = time.time()
+        if args.workers == 0:
+            drainer = threading.Thread(
+                target=service.worker("server-demo")
+                .run_until_drained,
+                kwargs={"timeout": 600.0}, daemon=True)
+        else:
+            drainer = threading.Thread(
+                target=service.run_until_drained,
+                kwargs={"timeout": 600.0}, daemon=True)
+        drainer.start()
+        table = client.wait_sweep(sweep.fingerprint, timeout=600.0)
+        drainer.join(timeout=600.0)
+        elapsed = time.time() - start
+
+        identical = table["cells"] == reference["cells"]
+        print(f"\n{'cell':18s} {'state':10s} failure_rate")
+        for key, row in table["cells"].items():
+            rate = row.get("verdict", {}).get("failure_rate")
+            rate_text = f"{rate:.4f}" if rate is not None \
+                else row.get("error", "-")
+            print(f"{key:18s} {row['state']:10s} {rate_text}")
+        print(f"\ndrained {table['counts']} in {elapsed:.1f}s over "
+              f"HTTP; bit-identical to in-process reference: "
+              f"{identical}")
+
+        stats = client.stats
+        print(f"client: {stats.requests} requests, "
+              f"{stats.attempts} attempts, {stats.retries} retries "
+              f"({stats.network_faults} network faults, "
+              f"{stats.garbled_responses} garbled responses), "
+              f"{stats.backoff_seconds:.3f}s backoff")
+        fired = plan.fired if plan else 0
+        planned = len(plan.events) if plan else 0
+        if plan:
+            print(f"network chaos: {fired}/{planned} injected "
+                  f"faults fired")
+        server_stats = client.service_stats()
+        print("server:", *service.stats().summary_lines(),
+              sep="\n  ")
+
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        report = {
+            "sweep": sweep.fingerprint,
+            "cells": len(cells),
+            "net_chaos": bool(plan),
+            "chaos_fired": fired,
+            "bit_identical": identical,
+            "elapsed_seconds": elapsed,
+            "table": table,
+            "client_stats": stats.to_json_dict(),
+            "server_stats": server_stats,
+        }
+        (out / "server_report.json").write_text(
+            json.dumps(report, indent=2, default=str) + "\n")
+        print(f"report written to {out}/server_report.json")
+
+    if cleanup:
+        shutil.rmtree(root, ignore_errors=True)
+    ok = (table["complete"] and identical
+          and (plan is None or fired == planned))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

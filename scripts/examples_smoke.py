@@ -45,6 +45,9 @@ SMOKE_ARGS = {
     "certification_service.py": [
         "--jobs", "4", "--workers", "0", "--trials", "40",
     ],
+    "certification_server.py": [
+        "--p-points", "2", "--trials", "30", "--net-chaos",
+    ],
 }
 
 

@@ -213,6 +213,22 @@ class CheckpointStore:
         """A nested store (e.g. one per sweep point)."""
         return CheckpointStore(os.path.join(self.directory, name))
 
+    def substores(self) -> List[str]:
+        """Names of the nested stores this one holds, sorted.
+
+        A directory counts as a substore when it exists at all — a
+        crash may have left it empty before its first record landed —
+        so resumable merge steps (the sweep coordinator) can
+        enumerate exactly the partial state a dead run left behind.
+        Lock files and quarantined records never appear here.
+        """
+        if not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            name for name in os.listdir(self.directory)
+            if os.path.isdir(self._path(name))
+        )
+
     # -- lifecycle ---------------------------------------------------
 
     def exists(self) -> bool:

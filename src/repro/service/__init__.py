@@ -10,17 +10,30 @@ execution, deterministic chaos — into a durable job system:
   certification requests (SHA-256 fingerprint of the canonical spec);
 * :class:`~repro.service.queue.JobQueue` — append-only event journal,
   token + TTL leases, exponential backoff with deterministic jitter,
-  dead-letter quarantine;
+  dead-letter quarantine, client cancellation;
 * :class:`~repro.service.worker.Worker` — claim → cache check →
   seeded analysis run with per-job checkpoints → streamed progress →
   token-checked completion;
 * :class:`~repro.service.pool.WorkerPool` /
   :class:`~repro.service.pool.CertificationService` — forked,
-  supervised workers behind one facade;
+  supervised workers behind one facade, with
+  :class:`~repro.service.pool.ServiceStats` observability;
 * :class:`~repro.service.cache.ResultCache` — fingerprint → verdict
   with integrity digests; corrupt entries quarantined and recomputed;
-* :class:`~repro.service.chaos.ServiceChaosPlan` — reproducible
-  worker kills, hangs, forced lease expiries for the chaos suite.
+  LRU/TTL eviction journaled, never serving stale or corrupt entries;
+* :class:`~repro.service.net.CertificationServer` /
+  :class:`~repro.service.client.ServiceClient` — the networked
+  front-end: stdlib HTTP/asyncio submission API with idempotent
+  content-addressed submission, digest-enveloped responses, and a
+  client whose timeout/backoff/reconnect/resubmit machinery makes
+  delivery exactly-once over an unreliable network;
+* :mod:`~repro.service.sweep` — one whole-grid claim decomposed into
+  per-cell queue jobs with a crash-safe, journaled merge step;
+* :class:`~repro.service.chaos.ServiceChaosPlan` /
+  :class:`~repro.service.chaos.NetChaosPlan` — reproducible worker
+  kills, hangs, lease expiries, and request-coordinate network
+  faults (drop/delay/duplicate/disconnect/garble) for the chaos
+  suites.
 
 The contract throughout is the runtime's: a correct verdict —
 bit-identical whether or not the run was disturbed — or a typed
@@ -29,17 +42,27 @@ error, never a silently wrong number.
 
 from repro.service.cache import ResultCache, garble_cache_entry, \
     verdict_digest
-from repro.service.chaos import ServiceChaosEvent, ServiceChaosPlan
-from repro.service.jobs import DEAD, FAILED, JOB_KINDS, JobSpec, \
-    JobStatus, PENDING, RUNNING, SUCCEEDED, TERMINAL_STATES
+from repro.service.chaos import NetChaosEvent, NetChaosPlan, \
+    ServiceChaosEvent, ServiceChaosPlan
+from repro.service.client import ClientStats, ServiceClient, \
+    wait_terminal
+from repro.service.jobs import CANCELLED, DEAD, FAILED, JOB_KINDS, \
+    JobSpec, JobStatus, PENDING, RUNNING, SUCCEEDED, TERMINAL_STATES
+from repro.service.net import CertificationServer
 from repro.service.pool import CertificationService, ServiceConfig, \
-    WorkerPool
+    ServiceStats, WorkerPool
 from repro.service.queue import JobQueue, Lease, backoff_delay, \
     truncate_queue_journal
+from repro.service.sweep import SWEEP_CELL_KINDS, SweepCell, \
+    SweepSpec, load_sweep, merge_sweep, run_sweep_inprocess, \
+    submit_sweep
 from repro.service.worker import Worker, submit_and_run
 
 __all__ = [
+    "CANCELLED",
+    "CertificationServer",
     "CertificationService",
+    "ClientStats",
     "DEAD",
     "FAILED",
     "JOB_KINDS",
@@ -47,19 +70,31 @@ __all__ = [
     "JobSpec",
     "JobStatus",
     "Lease",
+    "NetChaosEvent",
+    "NetChaosPlan",
     "PENDING",
     "RUNNING",
     "ResultCache",
     "SUCCEEDED",
+    "SWEEP_CELL_KINDS",
     "ServiceChaosEvent",
     "ServiceChaosPlan",
+    "ServiceClient",
     "ServiceConfig",
+    "ServiceStats",
+    "SweepCell",
+    "SweepSpec",
     "TERMINAL_STATES",
     "Worker",
     "WorkerPool",
     "backoff_delay",
     "garble_cache_entry",
+    "load_sweep",
+    "merge_sweep",
+    "run_sweep_inprocess",
     "submit_and_run",
+    "submit_sweep",
     "truncate_queue_journal",
     "verdict_digest",
+    "wait_terminal",
 ]

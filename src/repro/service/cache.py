@@ -15,6 +15,24 @@ digests, which is how the chaos suite asserts bit-identical recovery.
 Writes are atomic (tmp + ``os.replace``, the CheckpointStore
 discipline), so a reader racing a writer sees either the old complete
 entry or the new complete entry — never a torn one.
+
+Unbounded campaign histories need an **eviction policy**:
+
+* ``max_entries`` — an LRU bound.  Reads bump the entry file's mtime,
+  so recency survives process restarts; a ``put`` that pushes the
+  cache over the bound evicts the least-recently-used entries.
+* ``max_age`` — a TTL.  Entries record their ``stored_at`` wall-clock
+  (outside the digest); one older than ``max_age`` is evicted at read
+  time and reported as a miss, so an aged-out verdict is recomputed
+  rather than served stale.
+
+Every eviction is journaled as an ``evictions`` record in the cache's
+own :class:`~repro.runtime.CheckpointStore` (``cache/journal/``) —
+fingerprint, reason (``lru``/``ttl``), timestamp — so a campaign audit
+can distinguish "never computed" from "computed and aged out".
+Eviction never weakens integrity: an evicted entry is deleted whole,
+the digest check still guards every read, and a *corrupt* entry is
+quarantined (kept for post-mortem), never silently evicted.
 """
 
 from __future__ import annotations
@@ -23,14 +41,17 @@ import json
 import os
 import tempfile
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import ServiceError
+from repro.runtime.checkpoint import CheckpointStore
 from repro.service.jobs import canonical_json
 
 import hashlib
 
 _QUARANTINE = "quarantine"
+_JOURNAL = "journal"
+_EVICTIONS = "evictions"
 
 
 def verdict_digest(fingerprint: str, verdict: Dict[str, Any]) -> str:
@@ -48,8 +69,24 @@ class ResultCache:
     in the acceptance suite).
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, *,
+                 max_entries: Optional[int] = None,
+                 max_age: Optional[float] = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ServiceError(
+                f"cache max_entries must be >= 1, got {max_entries}"
+            )
+        if max_age is not None and max_age <= 0:
+            raise ServiceError(
+                f"cache max_age must be > 0 seconds, got {max_age}"
+            )
         self.directory = os.fspath(directory)
+        self.max_entries = max_entries
+        self.max_age = max_age
+        self.clock = clock
+        self.journal = CheckpointStore(
+            os.path.join(self.directory, _JOURNAL))
 
     # -- paths -------------------------------------------------------
 
@@ -93,6 +130,9 @@ class ResultCache:
             "verdict": verdict,
             "digest": verdict_digest(fingerprint, verdict),
             "meta": dict(meta or {}),
+            # Outside the digest, like meta: eviction bookkeeping must
+            # not break cross-machine digest equality.
+            "stored_at": self.clock(),
         }
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
@@ -111,6 +151,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._enforce_limits(keep=fingerprint)
         return record["digest"]
 
     # -- read --------------------------------------------------------
@@ -146,7 +187,77 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             self._quarantine(path, fingerprint)
             return None
+        if self.max_age is not None:
+            # Entries written before TTL support carry no stored_at;
+            # treating them as ancient errs on the safe side — an
+            # aged-out verdict is recomputed, never served stale.
+            stored_at = float(record.get("stored_at", 0.0))
+            if self.clock() - stored_at > self.max_age:
+                self._evict(fingerprint, path, "ttl")
+                return None
+        try:
+            os.utime(path, None)  # LRU recency marker
+        except OSError:
+            pass
         return record
+
+    # -- eviction ----------------------------------------------------
+
+    def _evict(self, fingerprint: str, path: str,
+               reason: str) -> None:
+        """Journal and delete one entry (LRU bound or TTL expiry)."""
+        self.journal.append_record(_EVICTIONS, {
+            "event": "evict",
+            "fingerprint": fingerprint,
+            "reason": reason,
+            "evicted_at": self.clock(),
+        })
+        try:
+            os.unlink(path)
+        except OSError:
+            # Lost a race with another evictor; the journal may then
+            # hold two events for one eviction, which audits tolerate.
+            pass
+
+    def _enforce_limits(self, keep: str = "") -> None:
+        """Apply the LRU bound after a write.
+
+        Evicts least-recently-used entries (file mtime, bumped on
+        every read) until the cache fits ``max_entries`` again; the
+        just-written ``keep`` fingerprint is never a victim even
+        under mtime ties on coarse filesystem clocks.
+        """
+        if self.max_entries is None:
+            return
+        entries = self.entries()
+        if len(entries) <= self.max_entries:
+            return
+        by_recency = []
+        for fingerprint, path in entries:
+            if fingerprint == keep:
+                continue
+            try:
+                by_recency.append(
+                    (os.path.getmtime(path), fingerprint, path))
+            except OSError:
+                continue
+        by_recency.sort()
+        excess = len(entries) - self.max_entries
+        for _, fingerprint, path in by_recency[:excess]:
+            self._evict(fingerprint, path, "lru")
+
+    def eviction_events(self) -> List[Dict[str, Any]]:
+        """Every journaled eviction, oldest first."""
+        return self.journal.load_records(_EVICTIONS,
+                                         tolerate_tail=True)
+
+    def eviction_counts(self) -> Dict[str, int]:
+        """Evictions tallied by reason (``lru`` / ``ttl``)."""
+        tally: Dict[str, int] = {}
+        for event in self.eviction_events():
+            reason = str(event.get("reason", "unknown"))
+            tally[reason] = tally.get(reason, 0) + 1
+        return tally
 
     def _quarantine(self, path: str, fingerprint: str) -> None:
         quarantine_dir = os.path.join(self.directory, _QUARANTINE)
@@ -178,7 +289,7 @@ class ResultCache:
         if not os.path.isdir(self.directory):
             return found
         for shard in sorted(os.listdir(self.directory)):
-            if shard == _QUARANTINE:
+            if shard in (_QUARANTINE, _JOURNAL):
                 continue
             shard_dir = os.path.join(self.directory, shard)
             if not os.path.isdir(shard_dir):

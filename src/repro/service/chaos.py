@@ -29,6 +29,28 @@ events on this plan — they happen *between* worker turns — and live
 next to the structures they damage:
 :func:`repro.service.queue.truncate_queue_journal` and
 :func:`repro.service.cache.garble_cache_entry`.
+
+:class:`NetChaosPlan` extends the same discipline to the *network*
+layer (:mod:`repro.service.net`): faults are keyed by exact request
+coordinates — *(op, index)*, the ``index``-th request of logical
+operation ``op`` the server sees — so a network soak is exactly as
+reproducible as a worker soak.  Kinds:
+
+* ``drop_request`` — the server reads the request and closes the
+  connection without a single response byte (a lost datagram /
+  mid-network partition).  The client must time out and retry.
+* ``delay_response`` — hold the response for ``seconds`` (congestion);
+  certifies client timeout/backoff behaviour.
+* ``duplicate_request`` — the server processes the request **twice**
+  (an at-least-once delivery duplicate).  Content-addressed
+  submission must deduplicate: no second enqueue, no extra simulator
+  evaluation.
+* ``disconnect`` — send roughly half the response bytes, then reset
+  (a connection torn mid-flight).  The client must discard the
+  partial read and retry on a fresh connection.
+* ``garble_response`` — flip a byte inside the response body.  The
+  digest envelope must catch it client-side; a garbled verdict is
+  retried, never believed.
 """
 
 from __future__ import annotations
@@ -137,3 +159,106 @@ class ServiceChaosPlan:
                 f"chaos: injected worker failure on job "
                 f"{fingerprint[:12]}… (attempt {event.attempt})"
             )
+
+
+# ---------------------------------------------------------------------------
+# Network chaos (repro.service.net)
+# ---------------------------------------------------------------------------
+
+DROP_REQUEST = "drop_request"
+DELAY_RESPONSE = "delay_response"
+DUPLICATE_REQUEST = "duplicate_request"
+DISCONNECT = "disconnect"
+GARBLE_RESPONSE = "garble_response"
+
+_NET_KINDS = (DROP_REQUEST, DELAY_RESPONSE, DUPLICATE_REQUEST,
+              DISCONNECT, GARBLE_RESPONSE)
+
+#: Logical operations the server counts requests by (see
+#: :meth:`repro.service.net.CertificationServer`).
+NET_OPS = ("submit", "status", "result", "progress", "cancel",
+           "sweep_submit", "sweep_status", "stats", "health")
+
+
+@dataclass(frozen=True)
+class NetChaosEvent:
+    """One injected network fault, addressed by op × request index."""
+
+    op: str
+    index: int
+    kind: str
+    seconds: float = 0.0  # delay duration, for kind == delay_response
+
+    def __post_init__(self) -> None:
+        if self.kind not in _NET_KINDS:
+            raise ServiceError(
+                f"unknown network chaos kind {self.kind!r}; pick "
+                f"from {_NET_KINDS}"
+            )
+        if self.op not in NET_OPS:
+            raise ServiceError(
+                f"unknown network op {self.op!r}; pick from "
+                f"{NET_OPS}"
+            )
+        if self.index < 0:
+            raise ServiceError(
+                f"request index must be >= 0, got {self.index}"
+            )
+
+
+@dataclass
+class NetChaosPlan:
+    """The injection schedule for one networked soak run.
+
+    The server tallies requests per logical op and consults
+    :meth:`match` with the current *(op, count)* coordinate; each
+    event fires exactly once, so the same plan against the same
+    request sequence injects the same faults every run.
+    """
+
+    events: List[NetChaosEvent] = field(default_factory=list)
+    _fired: Set[Tuple[str, int, str]] = field(
+        default_factory=set, repr=False)
+
+    def add(self, event: NetChaosEvent) -> "NetChaosPlan":
+        self.events.append(event)
+        return self
+
+    def drop(self, op: str, index: int) -> "NetChaosPlan":
+        return self.add(NetChaosEvent(op, index, DROP_REQUEST))
+
+    def delay(self, op: str, index: int,
+              seconds: float) -> "NetChaosPlan":
+        return self.add(NetChaosEvent(op, index, DELAY_RESPONSE,
+                                      seconds))
+
+    def duplicate(self, op: str, index: int) -> "NetChaosPlan":
+        return self.add(NetChaosEvent(op, index, DUPLICATE_REQUEST))
+
+    def disconnect(self, op: str, index: int) -> "NetChaosPlan":
+        return self.add(NetChaosEvent(op, index, DISCONNECT))
+
+    def garble(self, op: str, index: int) -> "NetChaosPlan":
+        return self.add(NetChaosEvent(op, index, GARBLE_RESPONSE))
+
+    def match(self, op: str, index: int
+              ) -> List[NetChaosEvent]:
+        """Every not-yet-fired event at this request coordinate.
+
+        Returns a list so one coordinate can compose faults (e.g.
+        duplicate *and* delay); each event is consumed exactly once.
+        """
+        matched = []
+        for event in self.events:
+            key = (event.op, event.index, event.kind)
+            if key in self._fired:
+                continue
+            if event.op == op and event.index == index:
+                self._fired.add(key)
+                matched.append(event)
+        return matched
+
+    @property
+    def fired(self) -> int:
+        """How many injected faults have actually fired so far."""
+        return len(self._fired)

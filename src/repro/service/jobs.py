@@ -26,14 +26,15 @@ from typing import Any, Dict, Tuple
 from repro.exceptions import ServiceError
 
 #: Job states, in lifecycle order.  ``pending`` and ``running`` are
-#: transient; the other three are terminal.
+#: transient; the other four are terminal.
 PENDING = "pending"
 RUNNING = "running"
 SUCCEEDED = "succeeded"
 FAILED = "failed"
 DEAD = "dead"
+CANCELLED = "cancelled"
 
-TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, DEAD})
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, DEAD, CANCELLED})
 
 #: Kinds the worker knows how to dispatch (see
 #: :mod:`repro.service.worker`).

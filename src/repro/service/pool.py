@@ -34,12 +34,80 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ServiceError
+from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.policy import RuntimePolicy
 from repro.service.cache import ResultCache
 from repro.service.chaos import ServiceChaosPlan
 from repro.service.jobs import JobSpec, JobStatus
 from repro.service.queue import JobQueue
 from repro.service.worker import Worker
+
+
+@dataclass
+class ServiceStats:
+    """One service-wide observability snapshot.
+
+    Folds together what previously had to be dug out of three
+    journals by hand: current job states, lifetime queue events
+    (including how many leases ``reap_expired`` ever reclaimed and
+    how many jobs were dead-lettered), live leases, and the verdict
+    cache's size/quarantine/eviction accounting.  Shaped after
+    :meth:`repro.analysis.engine.EngineStats.to_json_dict` so reports
+    and the ``/v1/stats`` endpoint serialise it directly.
+    """
+
+    jobs: Dict[str, int] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+    live_leases: int = 0
+    deadletters: int = 0
+    cache_entries: int = 0
+    cache_quarantined: int = 0
+    cache_evictions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reaped_leases(self) -> int:
+        """Lifetime ``expire`` events (reaps + forced expiries)."""
+        return self.events.get("expire", 0)
+
+    @property
+    def dead_lettered(self) -> int:
+        """Lifetime ``dead`` events (dead-letter quarantines)."""
+        return self.events.get("dead", 0)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": dict(sorted(self.jobs.items())),
+            "events": dict(sorted(self.events.items())),
+            "reaped_leases": self.reaped_leases,
+            "dead_lettered": self.dead_lettered,
+            "live_leases": self.live_leases,
+            "deadletters": self.deadletters,
+            "cache_entries": self.cache_entries,
+            "cache_quarantined": self.cache_quarantined,
+            "cache_evictions": dict(sorted(
+                self.cache_evictions.items())),
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable block, EngineStats-style."""
+        jobs = ", ".join(f"{state}={count}" for state, count in
+                         sorted(self.jobs.items())) or "none"
+        evictions = ", ".join(
+            f"{reason}={count}" for reason, count in
+            sorted(self.cache_evictions.items())) or "none"
+        return [
+            f"service: jobs [{jobs}], {self.live_leases} live "
+            f"leases, {self.deadletters} dead-lettered",
+            f"  lifetime: {self.events.get('submit', 0)} submits, "
+            f"{self.events.get('claim', 0)} claims, "
+            f"{self.events.get('complete', 0)} completions, "
+            f"{self.events.get('fail', 0)} failed attempts, "
+            f"{self.reaped_leases} leases reaped, "
+            f"{self.events.get('cancel', 0)} cancelled",
+            f"  cache: {self.cache_entries} entries, "
+            f"{self.cache_quarantined} quarantined, "
+            f"evictions [{evictions}]",
+        ]
 
 
 @dataclass
@@ -60,6 +128,10 @@ class ServiceConfig:
     backoff_jitter: float = 0.1
     poll_interval: float = 0.05
     store_lock_timeout: float = 10.0
+    # Verdict-cache eviction policy (None = unbounded, the historic
+    # behaviour): an LRU entry bound and/or a TTL in seconds.
+    cache_max_entries: Optional[int] = None
+    cache_max_age: Optional[float] = None
 
 
 def _worker_main(root: str, config: ServiceConfig, name: str,
@@ -169,6 +241,7 @@ class CertificationService:
 
         <root>/queue/   the JobQueue (journal, leases, jobs, ...)
         <root>/cache/   the ResultCache shards
+        <root>/sweeps/  per-sweep merge journals (repro.service.sweep)
 
     The handle is cheap and stateless — every process (submitters,
     workers, watchers) opens its own against the same root.
@@ -190,12 +263,21 @@ class CertificationService:
             backoff_base=self.config.backoff_base,
             backoff_factor=self.config.backoff_factor,
             backoff_jitter=self.config.backoff_jitter)
-        self.cache = ResultCache(os.path.join(self.root, "cache"))
+        self.cache = ResultCache(
+            os.path.join(self.root, "cache"),
+            max_entries=self.config.cache_max_entries,
+            max_age=self.config.cache_max_age)
+        self.sweeps = CheckpointStore(
+            os.path.join(self.root, "sweeps"))
 
     # -- submission / inspection -------------------------------------
 
     def submit(self, spec: JobSpec) -> str:
         return self.queue.submit(spec)
+
+    def cancel(self, fingerprint: str,
+               reason: str = "cancelled by client") -> JobStatus:
+        return self.queue.cancel(fingerprint, reason)
 
     def status(self, fingerprint: str) -> Optional[JobStatus]:
         return self.queue.status(fingerprint)
@@ -205,6 +287,21 @@ class CertificationService:
 
     def counts(self) -> Dict[str, int]:
         return self.queue.counts()
+
+    def stats(self) -> ServiceStats:
+        """The service-wide :class:`ServiceStats` snapshot."""
+        return ServiceStats(
+            jobs=self.queue.counts(),
+            events=self.queue.event_counts(),
+            live_leases=len(self.queue.leases()),
+            deadletters=len(self.queue.deadletters()),
+            cache_entries=len(self.cache.entries()),
+            cache_quarantined=len(self.cache.quarantined()),
+            cache_evictions=self.cache.eviction_counts())
+
+    def sweep_store(self, fingerprint: str) -> CheckpointStore:
+        """The per-sweep merge journal (repro.service.sweep)."""
+        return self.sweeps.substore(fingerprint)
 
     # -- execution ---------------------------------------------------
 

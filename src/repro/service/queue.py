@@ -51,8 +51,8 @@ from repro.exceptions import CheckpointError, ServiceError, \
     StaleLeaseError
 from repro.runtime.checkpoint import CheckpointStore, _flock, \
     _read_checked_json, _write_atomic_json
-from repro.service.jobs import DEAD, FAILED, JobSpec, JobStatus, \
-    PENDING, RUNNING, SUCCEEDED
+from repro.service.jobs import CANCELLED, DEAD, FAILED, JobSpec, \
+    JobStatus, PENDING, RUNNING, SUCCEEDED
 
 _EVENTS = "events"
 _QUEUE_LOCK = "queue.lock"
@@ -192,6 +192,9 @@ class JobQueue:
             elif event == "dead":
                 status.state = DEAD
                 status.error = str(record.get("error", ""))
+            elif event == "cancel":
+                status.state = CANCELLED
+                status.error = str(record.get("reason", ""))
             elif event == "expire":
                 if not status.terminal:
                     status.state = PENDING
@@ -272,6 +275,42 @@ class JobQueue:
             except OSError:
                 pass
         return fingerprint
+
+    def cancel(self, fingerprint: str,
+               reason: str = "cancelled by client") -> JobStatus:
+        """Cancel a *pending* job; returns its new status.
+
+        Idempotent: cancelling an already-cancelled job is a no-op.
+        A running job cannot be cancelled — its worker holds a valid
+        lease and will record a verdict exactly once; cancelling
+        underneath it would race that guarantee — and the other
+        terminal states are immutable history, so both are refused
+        with a typed :class:`~repro.exceptions.ServiceError`.
+        """
+        with self._locked():
+            jobs = self._replay()
+            status = jobs.get(fingerprint)
+            if status is None:
+                raise ServiceError(
+                    f"cannot cancel unknown job {fingerprint[:12]}…"
+                )
+            if status.state == CANCELLED:
+                return status
+            if status.state != PENDING:
+                raise ServiceError(
+                    f"cannot cancel job {fingerprint[:12]}… in state "
+                    f"{status.state!r}; only pending jobs are "
+                    "cancellable"
+                )
+            self.journal.append_record(_EVENTS, {
+                "event": "cancel",
+                "fingerprint": fingerprint,
+                "reason": str(reason),
+                "cancelled_at": self.clock(),
+            })
+            status.state = CANCELLED
+            status.error = str(reason)
+            return status
 
     # -- claiming ----------------------------------------------------
 
@@ -500,6 +539,24 @@ class JobQueue:
         tally: Dict[str, int] = {}
         for status in self.jobs().values():
             tally[status.state] = tally.get(status.state, 0) + 1
+        return tally
+
+    def event_counts(self) -> Dict[str, int]:
+        """Lifetime event tallies replayed from the queue journal.
+
+        Unlike :meth:`counts` (current state per job) this counts
+        *history*: every submit, claim, complete, fail, expire (the
+        reap/forced-expiry total), dead-letter and cancel ever
+        journaled — the raw material for
+        :class:`~repro.service.pool.ServiceStats`.
+        """
+        tally: Dict[str, int] = {}
+        with self._locked():
+            records = self.journal.load_records(
+                _EVENTS, tolerate_tail=True)
+        for record in records:
+            event = str(record.get("event", "unknown"))
+            tally[event] = tally.get(event, 0) + 1
         return tally
 
     @property

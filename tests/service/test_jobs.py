@@ -52,3 +52,92 @@ class TestJobSpec:
     def test_malformed_record_is_typed(self):
         with pytest.raises(ServiceError, match="malformed"):
             JobSpec.from_json_dict({"kind": "monte_carlo"})
+
+
+class TestFingerprintStability:
+    """Satellite: the fingerprint is the dedup key for the whole
+    networked service — it must be stable under key order, across
+    processes, and must reject non-canonical floats outright."""
+
+    #: Golden fingerprint for the canonical fast Monte-Carlo spec.
+    #: If this changes, every deployed cache and queue journal is
+    #: invalidated — bump it only with a migration story.
+    GOLDEN_SPEC = dict(kind="monte_carlo", code="trivial",
+                       gadget="n", p=0.02, trials=60, seed=7,
+                       chunk_size=20)
+    GOLDEN_FP = ("5760f7460a76329bef015f31463fbe8e"
+                 "59865accc0e9721849029b3507052cd9")
+
+    def test_golden_fingerprint_is_pinned(self):
+        params = dict(self.GOLDEN_SPEC)
+        kind = params.pop("kind")
+        assert JobSpec.create(kind, **params).fingerprint \
+            == self.GOLDEN_FP
+
+    def test_nested_key_order_is_canonicalised(self):
+        a = JobSpec.create("monte_carlo", seed=1,
+                           ladder={"outer": {"b": 2, "a": 1},
+                                   "list": [1, 2]})
+        b = JobSpec.create("monte_carlo",
+                           ladder={"list": [1, 2],
+                                   "outer": {"a": 1, "b": 2}},
+                           seed=1)
+        assert a.fingerprint == b.fingerprint
+
+    def test_random_key_orders_agree(self):
+        import random
+
+        rng = random.Random(20260808)
+        for round_ in range(25):
+            items = [(f"k{i}", rng.choice([rng.randint(0, 99),
+                                           f"v{rng.randint(0, 99)}",
+                                           [rng.random(), round_],
+                                           {"x": rng.randint(0, 9)}]))
+                     for i in range(rng.randint(1, 8))]
+            shuffled = list(items)
+            rng.shuffle(shuffled)
+            a = JobSpec.create("monte_carlo", **dict(items))
+            b = JobSpec.create("monte_carlo", **dict(shuffled))
+            assert a.fingerprint == b.fingerprint, \
+                f"round {round_}: key order changed the fingerprint"
+
+    def test_distinct_params_get_distinct_fingerprints(self):
+        fingerprints = {
+            JobSpec.create("monte_carlo", seed=s,
+                           p=0.001 * s).fingerprint
+            for s in range(50)
+        }
+        assert len(fingerprints) == 50
+
+    def test_fingerprint_is_stable_across_processes(self):
+        """A fresh interpreter (no shared dict state, different hash
+        randomisation) must compute the same fingerprint — this is
+        what makes client-side and server-side dedup agree."""
+        import os
+        import subprocess
+        import sys
+
+        params = dict(self.GOLDEN_SPEC)
+        kind = params.pop("kind")
+        local = JobSpec.create(kind, **params).fingerprint
+        src = os.path.join(os.path.dirname(__file__), os.pardir,
+                           os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env["PYTHONHASHSEED"] = "random"
+        code = (
+            "from repro.service import JobSpec; "
+            f"print(JobSpec.create({kind!r}, **{params!r})"
+            ".fingerprint)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == local
+
+    def test_rejects_infinities_everywhere(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ServiceError, match="serialisable"):
+                JobSpec.create("monte_carlo", p=bad)
+            with pytest.raises(ServiceError, match="serialisable"):
+                JobSpec.create("monte_carlo", nested={"deep": [bad]})

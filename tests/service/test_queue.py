@@ -6,6 +6,7 @@ import pytest
 
 from repro.exceptions import ServiceError, StaleLeaseError
 from repro.service import (
+    CANCELLED,
     DEAD,
     JobQueue,
     JobSpec,
@@ -295,3 +296,74 @@ class TestJournalRecovery:
         assert new is not None and new.attempt == 2
         with pytest.raises(StaleLeaseError):
             queue.complete(fp, lease.token, {"v": 1})
+
+
+class TestCancellation:
+    def test_cancel_pending_job(self, queue):
+        fp = queue.submit(spec())
+        status = queue.cancel(fp, "operator said stop")
+        assert status.state == CANCELLED
+        assert status.error == "operator said stop"
+        assert status.terminal
+        assert queue.claim("w1") is None
+        assert queue.drained
+
+    def test_cancel_is_idempotent(self, queue):
+        fp = queue.submit(spec())
+        queue.cancel(fp)
+        assert queue.cancel(fp).state == CANCELLED
+        assert queue.event_counts()["cancel"] == 1
+
+    def test_cancel_running_job_is_refused(self, queue):
+        fp = queue.submit(spec())
+        assert queue.claim("w1") is not None
+        with pytest.raises(ServiceError, match="only pending"):
+            queue.cancel(fp)
+
+    def test_cancel_unknown_job_is_refused(self, queue):
+        with pytest.raises(ServiceError, match="unknown job"):
+            queue.cancel("a" * 64)
+
+    def test_cancel_survives_restart(self, tmp_path, clock):
+        queue = JobQueue(str(tmp_path / "q2"), clock=clock)
+        fp = queue.submit(spec())
+        queue.cancel(fp)
+        reopened = JobQueue(str(tmp_path / "q2"), clock=clock)
+        assert reopened.status(fp).state == CANCELLED
+
+    def test_resubmission_after_cancel_starts_fresh(self, queue):
+        fp = queue.submit(spec())
+        queue.cancel(fp)
+        assert queue.submit(spec()) == fp
+        assert queue.status(fp).state == PENDING
+        assert queue.claim("w1") is not None
+
+
+class TestEventCounts:
+    def test_lifecycle_tallies(self, queue, clock):
+        fp = queue.submit(spec())
+        lease = queue.claim("w1")
+        queue.complete(fp, lease.token, {"ok": True})
+        fp2 = queue.submit(spec(seed=2))
+        lease2 = queue.claim("w1")
+        queue.fail(fp2, lease2.token, "boom")
+        counts = queue.event_counts()
+        assert counts["submit"] == 2
+        assert counts["claim"] == 2
+        assert counts["complete"] == 1
+        assert counts["fail"] == 1
+
+    def test_expiry_and_deadletter_are_counted(self, queue, clock):
+        fp = queue.submit(spec())
+        queue.claim("w1")
+        clock.advance(11.0)  # lease_ttl is 10
+        assert queue.reap_expired() == [fp]
+        for _ in range(2):  # attempts 2 and 3 of max_attempts=3
+            clock.advance(60.0)
+            lease = queue.claim("w1")
+            assert lease is not None
+            queue.fail(fp, lease.token, "boom")
+        counts = queue.event_counts()
+        assert counts["expire"] == 1
+        assert counts["dead"] == 1
+        assert queue.status(fp).state == DEAD

@@ -141,3 +141,106 @@ class TestFailurePaths:
         assert status.state == DEAD
         assert status.attempt == service.config.max_attempts
         assert "no_such_code" in status.error
+
+
+class TestHeartbeatShutdown:
+    """Satellite: a heartbeat thread that outlives its worker turn
+    must never renew (and so resurrect) a lease the queue already
+    released — the StaleLeaseError path, under slow teardown."""
+
+    def _queue(self, tmp_path, **overrides):
+        import os
+
+        from repro.service import JobQueue
+
+        knobs = dict(lease_ttl=0.5, job_deadline=30.0,
+                     max_attempts=3, backoff_base=0.01)
+        knobs.update(overrides)
+        return JobQueue(os.path.join(str(tmp_path), "q"), **knobs)
+
+    def test_stop_halts_renewal(self, tmp_path):
+        import time
+
+        from repro.service.worker import _Heartbeat
+
+        queue = self._queue(tmp_path)
+        queue.submit(mc_spec())
+        lease = queue.claim("w1")
+        heartbeat = _Heartbeat(queue, lease, interval=0.05)
+        heartbeat.start()
+        time.sleep(0.2)  # several renewals
+        heartbeat.stop()
+        heartbeat.join(timeout=2.0)
+        assert not heartbeat.is_alive()
+        assert not heartbeat.stale.is_set()
+        (live,) = queue.leases()
+        frozen = float(live["expires_at"])
+        time.sleep(0.2)  # no thread left to renew
+        (live,) = queue.leases()
+        assert float(live["expires_at"]) == frozen
+
+    def test_heartbeat_after_completion_goes_stale(self, tmp_path):
+        """The regression: complete() releases the lease while the
+        heartbeat thread is still running.  The next renewal must be
+        refused as stale — not recreate the lease file — and the
+        recorded verdict must stand untouched."""
+        import os
+        import time
+
+        from repro.service import SUCCEEDED as DONE
+        from repro.service.worker import _Heartbeat
+
+        queue = self._queue(tmp_path)
+        fp = queue.submit(mc_spec())
+        lease = queue.claim("w1")
+        heartbeat = _Heartbeat(queue, lease, interval=0.05)
+        heartbeat.start()
+        time.sleep(0.12)  # let at least one renewal land
+        queue.complete(fp, lease.token, {"ok": True})
+        heartbeat.join(timeout=2.0)  # no stop(): slow teardown
+        assert not heartbeat.is_alive()
+        assert heartbeat.stale.is_set()
+        assert queue.leases() == []
+        assert not os.path.exists(queue._lease_path(fp))
+        status = queue.status(fp)
+        assert status.state == DONE
+        assert status.verdict == {"ok": True}
+
+    def test_heartbeat_never_renews_a_reissued_lease(self, tmp_path):
+        """After a forced expiry and re-claim, the *old* holder's
+        heartbeat must go stale instead of stealing the new worker's
+        lease back."""
+        import time
+
+        from repro.service.worker import _Heartbeat
+
+        queue = self._queue(tmp_path)
+        fp = queue.submit(mc_spec())
+        old = queue.claim("w1")
+        queue.expire_lease(fp)
+        new = queue.claim("w2")
+        assert new is not None and new.token != old.token
+        heartbeat = _Heartbeat(queue, old, interval=0.05)
+        heartbeat.start()
+        heartbeat.join(timeout=2.0)
+        assert heartbeat.stale.is_set()
+        (live,) = queue.leases()
+        assert live["token"] == new.token
+        assert live["worker"] == "w2"
+
+    def test_renewal_stops_at_the_hard_deadline(self, tmp_path):
+        """A worker that cannot finish by the job deadline must lose
+        its lease (stop renewing), not keep it alive forever."""
+        import time
+
+        from repro.service.worker import _Heartbeat
+
+        queue = self._queue(tmp_path, lease_ttl=0.2,
+                            job_deadline=0.3)
+        fp = queue.submit(mc_spec())
+        lease = queue.claim("w1")
+        heartbeat = _Heartbeat(queue, lease, interval=0.05)
+        heartbeat.start()
+        time.sleep(0.6)
+        assert not heartbeat.is_alive()  # exited at the deadline
+        assert queue.reap_expired() == [fp]

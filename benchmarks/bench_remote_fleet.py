@@ -1,0 +1,174 @@
+"""E12 — remote worker fleet: wire-level claim-loop economics.
+
+The distributed-robustness claim is that moving the *workers* to the
+far side of the wire (HMAC-authenticated ``/v1/work/*`` claim →
+heartbeat → progress → complete) changes failure modes, not answers
+— and costs milliseconds of HTTP per job over an in-process worker.
+The second leg prices the streaming ``watch()`` long-poll against
+the polling ``wait_terminal`` it replaces: the stream should deliver
+every journaled progress event in near-drain time with a handful of
+long-poll requests instead of a request per poll tick.
+
+Emits ``results/BENCH_remote_fleet.json`` with per-job drain
+timings (local vs remote worker), verdict-table equality, and
+watch-vs-poll request counts.
+"""
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.service import (
+    SUCCEEDED,
+    CertificationServer,
+    CertificationService,
+    RemoteWorker,
+    ServiceClient,
+    ServiceConfig,
+    SweepSpec,
+    merge_sweep,
+    submit_sweep,
+    wait_terminal,
+)
+from repro.service.jobs import JobSpec
+
+from _harness import json_artifact, report, series_lines
+
+#: Sweep size knobs; CI smoke runs shrink via the environment.
+P_POINTS = int(os.environ.get("BENCH_FLEET_P_POINTS", "4"))
+TRIALS = int(os.environ.get("BENCH_FLEET_TRIALS", "60"))
+SEED = 20260808
+SECRET = "bench-fleet-secret"
+
+
+def _sweep() -> SweepSpec:
+    grid = tuple(round(0.005 * (i + 1), 6) for i in range(P_POINTS))
+    return SweepSpec.create(
+        "monte_carlo", code="trivial", gadgets=("n", "recovery"),
+        p_grid=grid, seed=SEED, trials=TRIALS,
+        chunk_size=max(TRIALS // 3, 1))
+
+
+def _drain_local(root: str, sweep: SweepSpec):
+    service = CertificationService(
+        os.path.join(root, "local"), config=ServiceConfig(workers=0))
+    submit_sweep(service, sweep)
+    start = time.time()
+    service.worker("bench-local").run_until_drained(timeout=600.0)
+    seconds = time.time() - start
+    return seconds, merge_sweep(service, sweep)
+
+
+def _drain_remote(root: str, sweep: SweepSpec):
+    service = CertificationService(
+        os.path.join(root, "remote"),
+        config=ServiceConfig(workers=0, clock_skew_grace=0.5))
+    submit_sweep(service, sweep)
+    with CertificationServer(service,
+                             worker_secret=SECRET) as server:
+        worker = RemoteWorker(
+            *server.address, secret=SECRET, name="bench-remote",
+            scratch=os.path.join(root, "scratch"), timeout=10.0)
+        start = time.time()
+        worker.run_until_drained(timeout=600.0)
+        seconds = time.time() - start
+        requests = worker.client.stats.requests
+    return seconds, merge_sweep(service, sweep), requests
+
+
+def _stream_vs_poll(root: str):
+    service = CertificationService(
+        os.path.join(root, "watch"), config=ServiceConfig(workers=0))
+    spec = JobSpec.create(
+        "sequential_monte_carlo", code="trivial", gadget="n",
+        p=0.02, p0=0.01, p1=0.2, seed=SEED, max_trials=400,
+        batch_size=40)
+    fingerprint = service.submit(spec)
+    with CertificationServer(service) as server:
+        watcher = ServiceClient(*server.address, timeout=10.0)
+        poller = ServiceClient(*server.address, timeout=10.0)
+        drainer = threading.Thread(
+            target=service.worker("bench-watch").run_until_drained,
+            kwargs={"timeout": 600.0}, daemon=True)
+        # The polling client it replaces, racing the stream.
+        polling = threading.Thread(
+            target=wait_terminal, args=(poller, [fingerprint]),
+            kwargs={"timeout": 600.0, "poll": 0.02}, daemon=True)
+        drainer.start()
+        polling.start()
+        start = time.time()
+        events = list(watcher.watch(fingerprint, timeout=600.0,
+                                    wait=5.0))
+        watch_seconds = time.time() - start
+        drainer.join(timeout=600.0)
+        polling.join(timeout=600.0)
+    journaled = service.queue.progress(fingerprint)
+    return (watch_seconds, len(events), len(journaled),
+            watcher.stats.requests, poller.stats.requests)
+
+
+def test_remote_fleet_overhead(benchmark):
+    """Local vs over-the-wire drain; streaming watch vs polling."""
+    sweep = _sweep()
+    jobs = len(sweep.cells())
+    root = tempfile.mkdtemp(prefix="bench-fleet-")
+
+    def run_experiment():
+        shutil.rmtree(root, ignore_errors=True)
+        local_seconds, local_table = _drain_local(root, sweep)
+        remote_seconds, remote_table, wire_requests = \
+            _drain_remote(root, sweep)
+        watch = _stream_vs_poll(root)
+        return (local_seconds, local_table, remote_seconds,
+                remote_table, wire_requests, watch)
+
+    (local_seconds, local_table, remote_seconds, remote_table,
+     wire_requests,
+     (watch_seconds, streamed, journaled, watch_requests,
+      poll_requests)) = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+
+    # The robustness claim in numbers: the wire changes cost, never
+    # the verdicts.
+    assert local_table["complete"] and remote_table["complete"]
+    assert local_table["counts"] == {SUCCEEDED: jobs}
+    assert local_table["cells"] == remote_table["cells"]
+    assert streamed == journaled  # watch delivered every event once
+
+    overhead_ms = (remote_seconds - local_seconds) / jobs * 1e3
+    rows = [
+        ("in-process worker drain", f"{local_seconds:.3f}",
+         f"{local_seconds / jobs * 1e3:.1f}"),
+        ("remote worker drain (HTTP)", f"{remote_seconds:.3f}",
+         f"{remote_seconds / jobs * 1e3:.1f}"),
+    ]
+    report("E12 — remote worker fleet and streaming watch", [
+        f"workload: {jobs}-cell sweep ({P_POINTS} p-points x 2 "
+        f"gadgets), {TRIALS} trials/cell, trivial code",
+        *series_lines(("pass", "seconds", "ms/job"), rows),
+        f"wire overhead: {overhead_ms:+.1f} ms/job over "
+        f"{wire_requests} authenticated requests; verdict tables "
+        f"bit-identical",
+        f"watch(): {streamed} events streamed in "
+        f"{watch_seconds:.3f}s over {watch_requests} long-polls "
+        f"(vs {poll_requests} wait_terminal polls)",
+    ])
+    json_artifact("BENCH_remote_fleet.json", {
+        "cells": jobs,
+        "p_points": P_POINTS,
+        "trials": TRIALS,
+        "seed": SEED,
+        "local_drain_seconds": local_seconds,
+        "remote_drain_seconds": remote_seconds,
+        "wire_overhead_ms_per_job": overhead_ms,
+        "wire_requests": wire_requests,
+        "tables_identical":
+            local_table["cells"] == remote_table["cells"],
+        "watch_seconds": watch_seconds,
+        "watch_events": streamed,
+        "watch_requests": watch_requests,
+        "poll_requests": poll_requests,
+    })
+    shutil.rmtree(root, ignore_errors=True)

@@ -17,9 +17,18 @@ merged verdict table is **bit-identical** to an undisturbed
 in-process run of the same sweep — the networked path adds failure
 modes, never new answers.
 
+``--remote-workers N`` drains the sweep with a fleet of HMAC-
+authenticated :class:`~repro.service.RemoteWorker` processes that
+claim, heartbeat, stream progress and complete entirely over the
+authenticated ``/v1/work/*`` endpoints — no shared filesystem with
+the server process is assumed.  Combined with ``--net-chaos`` the
+fleet is additionally hit with a worker partition (consecutive
+requests dropped) and a duplicated terminal complete, which the
+queue's idempotent-complete machinery must absorb.
+
 Run:  PYTHONPATH=src python examples/certification_server.py
       [--p-points N] [--trials T] [--seed S] [--workers W]
-      [--net-chaos] [--root DIR] [--out DIR]
+      [--remote-workers N] [--net-chaos] [--root DIR] [--out DIR]
 
 ``--out`` writes ``server_report.json`` (merged table, client retry
 stats, server request tallies).  Exit status is 0 only when the sweep
@@ -29,6 +38,7 @@ network fault actually fired.
 
 import argparse
 import json
+import multiprocessing
 import shutil
 import sys
 import tempfile
@@ -43,8 +53,11 @@ from repro.service import (
     ServiceClient,
     ServiceConfig,
     SweepSpec,
+    remote_worker_main,
     run_sweep_inprocess,
 )
+
+FLEET_SECRET = "repro-demo-fleet-secret"
 
 
 def build_sweep(args) -> SweepSpec:
@@ -56,15 +69,22 @@ def build_sweep(args) -> SweepSpec:
         chunk_size=max(args.trials // 3, 1))
 
 
-def build_net_chaos() -> NetChaosPlan:
+def build_net_chaos(remote_workers: int = 0) -> NetChaosPlan:
     """One of each network fault kind, at fixed coordinates."""
-    return (NetChaosPlan()
+    plan = (NetChaosPlan()
             .drop("submit", 0)
             .garble("submit", 1)
             .duplicate("sweep_submit", 0)
             .delay("sweep_status", 0, 0.1)
             .disconnect("sweep_status", 1)
             .garble("sweep_status", 2))
+    if remote_workers:
+        # Fleet coordinates: partition remote-1 for two consecutive
+        # authenticated requests, and process one terminal complete
+        # twice (absorbed by the queue's idempotent complete).
+        plan.partition("remote-1", 2, count=2)
+        plan.duplicate_complete(0)
+    return plan
 
 
 def main(argv=None) -> int:
@@ -77,6 +97,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=20260808)
     parser.add_argument("--workers", type=int, default=0,
                         help="pool size; 0 = one in-process worker")
+    parser.add_argument("--remote-workers", type=int, default=0,
+                        help="drain with this many HMAC-"
+                             "authenticated RemoteWorker processes "
+                             "over /v1/work/* instead of a local "
+                             "worker")
     parser.add_argument("--net-chaos", action="store_true",
                         help="inject drop/garble/duplicate/delay/"
                              "disconnect faults on the request "
@@ -91,10 +116,13 @@ def main(argv=None) -> int:
     cleanup = args.root is None
     sweep = build_sweep(args)
     cells = sweep.cells()
-    plan = build_net_chaos() if args.net_chaos else None
+    plan = build_net_chaos(args.remote_workers) \
+        if args.net_chaos else None
+    secret = FLEET_SECRET if args.remote_workers else None
     config = ServiceConfig(workers=args.workers, lease_ttl=10.0,
                            job_deadline=120.0, max_attempts=3,
-                           backoff_base=0.1)
+                           backoff_base=0.1,
+                           clock_skew_grace=0.5)
     service = CertificationService(root, config=config)
 
     print(f"service root: {root}")
@@ -107,7 +135,8 @@ def main(argv=None) -> int:
     reference = run_sweep_inprocess(
         sweep, tempfile.mkdtemp(prefix="repro-server-ref-"))
 
-    with CertificationServer(service, net_chaos=plan) as server:
+    with CertificationServer(service, net_chaos=plan,
+                             worker_secret=secret) as server:
         host, port = server.address
         print(f"server listening on http://{host}:{port}")
         client = ServiceClient(host, port, timeout=3.0,
@@ -123,7 +152,23 @@ def main(argv=None) -> int:
               f"{receipt['deduplicated']} deduplicated")
 
         start = time.time()
-        if args.workers == 0:
+        fleet = []
+        if args.remote_workers > 0:
+            context = multiprocessing.get_context("fork")
+            for i in range(args.remote_workers):
+                name = f"remote-{i + 1}"
+                proc = context.Process(
+                    target=remote_worker_main,
+                    args=(host, port, FLEET_SECRET, name,
+                          str(Path(root) / "scratch" / name)),
+                    kwargs={"timeout": 600.0}, name=name,
+                    daemon=True)
+                proc.start()
+                fleet.append(proc)
+            print(f"remote fleet: {len(fleet)} authenticated "
+                  f"workers claiming over /v1/work/*")
+            drainer = None
+        elif args.workers == 0:
             drainer = threading.Thread(
                 target=service.worker("server-demo")
                 .run_until_drained,
@@ -132,9 +177,15 @@ def main(argv=None) -> int:
             drainer = threading.Thread(
                 target=service.run_until_drained,
                 kwargs={"timeout": 600.0}, daemon=True)
-        drainer.start()
+        if drainer is not None:
+            drainer.start()
         table = client.wait_sweep(sweep.fingerprint, timeout=600.0)
-        drainer.join(timeout=600.0)
+        if drainer is not None:
+            drainer.join(timeout=600.0)
+        fleet_ok = True
+        for proc in fleet:
+            proc.join(timeout=600.0)
+            fleet_ok = fleet_ok and proc.exitcode == 0
         elapsed = time.time() - start
 
         identical = table["cells"] == reference["cells"]
@@ -155,11 +206,20 @@ def main(argv=None) -> int:
               f"{stats.garbled_responses} garbled responses), "
               f"{stats.backoff_seconds:.3f}s backoff")
         fired = plan.fired if plan else 0
-        planned = len(plan.events) if plan else 0
+        planned = (len(plan.events) + len(plan.worker_events)) \
+            if plan else 0
         if plan:
             print(f"network chaos: {fired}/{planned} injected "
                   f"faults fired")
         server_stats = client.service_stats()
+        if fleet:
+            health = client.health()
+            tallies = ", ".join(
+                f"{worker}={count}" for worker, count in
+                sorted(health["workers"].items()))
+            print(f"fleet: drained={health['drained']}, "
+                  f"authenticated requests [{tallies}], "
+                  f"all workers exited clean: {fleet_ok}")
         print("server:", *service.stats().summary_lines(),
               sep="\n  ")
 
@@ -171,6 +231,9 @@ def main(argv=None) -> int:
             "cells": len(cells),
             "net_chaos": bool(plan),
             "chaos_fired": fired,
+            "chaos_planned": planned,
+            "remote_workers": args.remote_workers,
+            "fleet_clean_exit": fleet_ok,
             "bit_identical": identical,
             "elapsed_seconds": elapsed,
             "table": table,
@@ -183,7 +246,7 @@ def main(argv=None) -> int:
 
     if cleanup:
         shutil.rmtree(root, ignore_errors=True)
-    ok = (table["complete"] and identical
+    ok = (table["complete"] and identical and fleet_ok
           and (plan is None or fired == planned))
     return 0 if ok else 1
 

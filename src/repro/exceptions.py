@@ -90,6 +90,46 @@ class ServiceError(RuntimeIntegrityError):
     its failures sit under :class:`RuntimeIntegrityError`."""
 
 
+class ServiceUnavailableError(ServiceError):
+    """Raised when the service cannot take the request *right now*.
+
+    The HTTP front-end maps this to ``503 Service Unavailable`` with a
+    ``Retry-After`` header: the request was well-formed and would have
+    been safe, but a shared resource (typically the queue store lock)
+    is contended.  Clients should wait ``retry_after`` seconds and
+    resubmit — blind resubmission is safe because every request is
+    content-addressed and idempotent."""
+
+    def __init__(self, message: str, retry_after: float = 0.5) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class AuthError(ServiceError):
+    """Base class for worker-fleet authentication failures.
+
+    The worker endpoints (``/v1/work/*``) are the only surface that
+    can *mutate* a lease, so they require an HMAC-signed shared-secret
+    token.  Rejections are typed: a request that does not even carry a
+    well-formed token is :class:`AuthenticationError` (HTTP 401); a
+    well-formed token whose signature does not verify is
+    :class:`AuthorizationError` (HTTP 403).  Neither is retryable —
+    both are deterministic verdicts about the request itself."""
+
+
+class AuthenticationError(AuthError):
+    """Raised when a worker request carries no token, or a garbled /
+    syntactically malformed one (wrong length, non-hex digest).  Maps
+    to HTTP 401 Unauthorized."""
+
+
+class AuthorizationError(AuthError):
+    """Raised when a worker token is well-formed but its HMAC
+    signature does not verify against the fleet secret — a wrong
+    secret, a tampered body, or a replayed signature over different
+    content.  Maps to HTTP 403 Forbidden."""
+
+
 class StaleLeaseError(ServiceError):
     """Raised when a worker acts on a job lease it no longer owns.
 

@@ -24,9 +24,14 @@ execution, deterministic chaos — into a durable job system:
 * :class:`~repro.service.net.CertificationServer` /
   :class:`~repro.service.client.ServiceClient` — the networked
   front-end: stdlib HTTP/asyncio submission API with idempotent
-  content-addressed submission, digest-enveloped responses, and a
-  client whose timeout/backoff/reconnect/resubmit machinery makes
-  delivery exactly-once over an unreliable network;
+  content-addressed submission, digest-enveloped responses,
+  long-poll cursor-resumable ``watch``, and a client whose
+  timeout/backoff/reconnect/resubmit machinery makes delivery
+  exactly-once over an unreliable network;
+* :class:`~repro.service.remote.RemoteWorker` /
+  :class:`~repro.service.auth.WorkerAuth` — the worker fleet over
+  HTTP: HMAC shared-secret authenticated ``/v1/work/*`` endpoints,
+  lease tokens on every mutation, idempotent retried completes;
 * :mod:`~repro.service.sweep` — one whole-grid claim decomposed into
   per-cell queue jobs with a crash-safe, journaled merge step;
 * :class:`~repro.service.chaos.ServiceChaosPlan` /
@@ -40,12 +45,15 @@ bit-identical whether or not the run was disturbed — or a typed
 error, never a silently wrong number.
 """
 
+from repro.service.auth import WorkerAuth, sign_request, \
+    verify_request
 from repro.service.cache import ResultCache, garble_cache_entry, \
     verdict_digest
 from repro.service.chaos import NetChaosEvent, NetChaosPlan, \
-    ServiceChaosEvent, ServiceChaosPlan
+    ServiceChaosEvent, ServiceChaosPlan, WorkerChaosEvent
 from repro.service.client import ClientStats, ServiceClient, \
     wait_terminal
+from repro.service.remote import RemoteWorker, remote_worker_main
 from repro.service.jobs import CANCELLED, DEAD, FAILED, JOB_KINDS, \
     JobSpec, JobStatus, PENDING, RUNNING, SUCCEEDED, TERMINAL_STATES
 from repro.service.net import CertificationServer
@@ -74,6 +82,7 @@ __all__ = [
     "NetChaosPlan",
     "PENDING",
     "RUNNING",
+    "RemoteWorker",
     "ResultCache",
     "SUCCEEDED",
     "SWEEP_CELL_KINDS",
@@ -86,15 +95,20 @@ __all__ = [
     "SweepSpec",
     "TERMINAL_STATES",
     "Worker",
+    "WorkerAuth",
+    "WorkerChaosEvent",
     "WorkerPool",
     "backoff_delay",
     "garble_cache_entry",
     "load_sweep",
     "merge_sweep",
+    "remote_worker_main",
     "run_sweep_inprocess",
+    "sign_request",
     "submit_and_run",
     "submit_sweep",
     "truncate_queue_journal",
     "verdict_digest",
+    "verify_request",
     "wait_terminal",
 ]

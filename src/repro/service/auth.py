@@ -1,0 +1,136 @@
+"""HMAC shared-secret authentication for the worker fleet.
+
+The ``/v1/work/*`` endpoints hand out and consume *leases* — the
+credentials that make exactly-once completion work — so they must not
+be drivable by an unauthenticated peer.  The scheme here is the
+smallest thing with the right properties, built entirely from the
+stdlib:
+
+* the operator picks one **fleet secret** and gives it to the server
+  and to every remote worker;
+* each worker request carries three headers::
+
+      X-Repro-Worker:    <worker name>
+      X-Repro-Nonce:     <hex nonce chosen by the worker>
+      X-Repro-Signature: HMAC-SHA256(secret,
+                             method \\n path \\n worker \\n nonce \\n
+                             SHA-256(body))
+
+* the server recomputes the signature with :func:`hmac.compare_digest`
+  (constant-time, no oracle) and rejects with **typed** errors:
+  a missing or syntactically garbled token —
+  :class:`~repro.exceptions.AuthenticationError`, HTTP 401; a
+  well-formed token that fails verification —
+  :class:`~repro.exceptions.AuthorizationError`, HTTP 403.
+
+Signing covers the body digest, so a request tampered in flight fails
+auth rather than acting with someone else's credentials; it does not
+attempt replay protection — replaying a worker request is harmless by
+construction, because every ``/v1/work/*`` mutation is additionally
+guarded by its single-use lease token (a replayed ``complete`` is the
+exact duplicate-delivery case the queue already absorbs
+idempotently).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import AuthenticationError, AuthorizationError
+
+#: Header names, in one place so client and server cannot drift.
+WORKER_HEADER = "x-repro-worker"
+NONCE_HEADER = "x-repro-nonce"
+SIGNATURE_HEADER = "x-repro-signature"
+
+_SIGNATURE_LEN = 64  # hex SHA-256
+_HEX = set("0123456789abcdef")
+
+
+def _body_digest(body: Optional[bytes]) -> str:
+    return hashlib.sha256(body or b"").hexdigest()
+
+
+def sign_request(secret: str, method: str, path: str, worker: str,
+                 nonce: str, body: Optional[bytes]) -> str:
+    """The canonical request signature (lowercase hex)."""
+    message = "\n".join((method.upper(), path, worker, nonce,
+                         _body_digest(body)))
+    return hmac.new(secret.encode("utf-8"),
+                    message.encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+@dataclass(frozen=True)
+class WorkerAuth:
+    """One worker's signing identity: fleet secret + worker name."""
+
+    secret: str
+    worker: str
+
+    def headers(self, method: str, path: str,
+                body: Optional[bytes]) -> Dict[str, str]:
+        """Signed headers for one request (fresh nonce per call)."""
+        nonce = os.urandom(8).hex()
+        return {
+            "X-Repro-Worker": self.worker,
+            "X-Repro-Nonce": nonce,
+            "X-Repro-Signature": sign_request(
+                self.secret, method, path, self.worker, nonce, body),
+        }
+
+
+def verify_request(secret: str, method: str, path: str,
+                   headers: Mapping[str, str],
+                   body: Optional[bytes]) -> str:
+    """Validate a signed worker request; returns the worker name.
+
+    ``headers`` keys are expected lower-cased (the server's request
+    parser normalises them).  Raises
+    :class:`~repro.exceptions.AuthenticationError` for absent or
+    garbled tokens and
+    :class:`~repro.exceptions.AuthorizationError` for signatures that
+    fail verification.
+    """
+    worker = headers.get(WORKER_HEADER, "")
+    nonce = headers.get(NONCE_HEADER, "")
+    signature = headers.get(SIGNATURE_HEADER, "")
+    if not worker or not nonce or not signature:
+        missing = [name for name, value in
+                   ((WORKER_HEADER, worker), (NONCE_HEADER, nonce),
+                    (SIGNATURE_HEADER, signature)) if not value]
+        raise AuthenticationError(
+            f"worker request is unauthenticated: missing header(s) "
+            f"{missing}; the /v1/work surface requires the fleet "
+            "secret"
+        )
+    signature = signature.strip().lower()
+    if (len(signature) != _SIGNATURE_LEN
+            or any(c not in _HEX for c in signature)):
+        raise AuthenticationError(
+            f"worker token is garbled: signature "
+            f"{signature[:16]!r}… is not a {_SIGNATURE_LEN}-digit "
+            "hex HMAC"
+        )
+    expected = sign_request(secret, method, path, worker, nonce, body)
+    if not hmac.compare_digest(expected, signature):
+        raise AuthorizationError(
+            f"worker {worker!r} presented a token that fails HMAC "
+            "verification (wrong fleet secret or tampered request); "
+            "refusing the claim"
+        )
+    return worker
+
+
+__all__ = [
+    "NONCE_HEADER",
+    "SIGNATURE_HEADER",
+    "WORKER_HEADER",
+    "WorkerAuth",
+    "sign_request",
+    "verify_request",
+]

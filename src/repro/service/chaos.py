@@ -171,13 +171,25 @@ DUPLICATE_REQUEST = "duplicate_request"
 DISCONNECT = "disconnect"
 GARBLE_RESPONSE = "garble_response"
 
+#: Fleet-coordinate kinds (see :class:`WorkerChaosEvent`): faults
+#: addressed by *which worker* sent the request rather than by the
+#: server's global request count, so a multi-worker soak can partition
+#: one specific worker while its peers keep draining.
+PARTITION_WORKER = "partition_worker"
+DELAY_HEARTBEAT = "delay_heartbeat"
+
 _NET_KINDS = (DROP_REQUEST, DELAY_RESPONSE, DUPLICATE_REQUEST,
               DISCONNECT, GARBLE_RESPONSE)
+_WORKER_KINDS = (PARTITION_WORKER, DELAY_HEARTBEAT)
 
 #: Logical operations the server counts requests by (see
-#: :meth:`repro.service.net.CertificationServer`).
+#: :meth:`repro.service.net.CertificationServer`).  The ``work_*``
+#: ops are the authenticated worker-fleet surface; ``watch`` is the
+#: long-poll progress stream.
 NET_OPS = ("submit", "status", "result", "progress", "cancel",
-           "sweep_submit", "sweep_status", "stats", "health")
+           "sweep_submit", "sweep_status", "stats", "health",
+           "watch", "work_claim", "work_heartbeat", "work_progress",
+           "work_complete", "work_fail")
 
 
 @dataclass(frozen=True)
@@ -206,6 +218,57 @@ class NetChaosEvent:
             )
 
 
+@dataclass(frozen=True)
+class WorkerChaosEvent:
+    """One fleet fault, addressed by worker × request index.
+
+    ``worker`` names the authenticated remote worker the fault
+    targets; ``index`` is which of that worker's requests it fires on
+    (per-op when ``op`` names a work op, across *all* of the worker's
+    requests when ``op`` is ``"*"``).  Kinds:
+
+    * ``partition_worker`` — the server drops ``count`` consecutive
+      requests from the worker starting at ``index``, without one
+      response byte: a network partition as seen from the worker.
+      Claims/heartbeats/completes sent into the partition vanish; the
+      worker's lease expires server-side, is re-issued, and its
+      post-partition writes must be refused as stale.
+    * ``delay_heartbeat`` — the server sleeps ``seconds`` *before*
+      processing the request, so the heartbeat lands late by the
+      server's clock: the zombie-worker coordinate.  With a grace
+      (``clock_skew_grace``) smaller than ``seconds`` the lease is
+      forfeited mid-flight; with a grace larger, it survives.
+    """
+
+    worker: str
+    index: int
+    kind: str
+    op: str = "*"
+    seconds: float = 0.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKER_KINDS:
+            raise ServiceError(
+                f"unknown worker chaos kind {self.kind!r}; pick "
+                f"from {_WORKER_KINDS}"
+            )
+        if self.op != "*" and self.op not in NET_OPS:
+            raise ServiceError(
+                f"unknown worker chaos op {self.op!r}; pick from "
+                f"('*',) + {NET_OPS}"
+            )
+        if self.index < 0:
+            raise ServiceError(
+                f"request index must be >= 0, got {self.index}"
+            )
+        if self.count < 1:
+            raise ServiceError(
+                f"partition span must cover >= 1 request, got "
+                f"{self.count}"
+            )
+
+
 @dataclass
 class NetChaosPlan:
     """The injection schedule for one networked soak run.
@@ -213,11 +276,17 @@ class NetChaosPlan:
     The server tallies requests per logical op and consults
     :meth:`match` with the current *(op, count)* coordinate; each
     event fires exactly once, so the same plan against the same
-    request sequence injects the same faults every run.
+    request sequence injects the same faults every run.  Fleet
+    faults (:class:`WorkerChaosEvent`) are tallied per authenticated
+    worker instead and consulted via :meth:`match_worker`.
     """
 
     events: List[NetChaosEvent] = field(default_factory=list)
+    worker_events: List[WorkerChaosEvent] = field(
+        default_factory=list)
     _fired: Set[Tuple[str, int, str]] = field(
+        default_factory=set, repr=False)
+    _worker_fired: Set[Tuple[str, str, int, str]] = field(
         default_factory=set, repr=False)
 
     def add(self, event: NetChaosEvent) -> "NetChaosPlan":
@@ -241,6 +310,35 @@ class NetChaosPlan:
     def garble(self, op: str, index: int) -> "NetChaosPlan":
         return self.add(NetChaosEvent(op, index, GARBLE_RESPONSE))
 
+    # -- fleet coordinates -------------------------------------------
+
+    def add_worker(self, event: WorkerChaosEvent) -> "NetChaosPlan":
+        self.worker_events.append(event)
+        return self
+
+    def partition(self, worker: str, index: int,
+                  count: int = 1) -> "NetChaosPlan":
+        """Drop ``count`` consecutive requests from ``worker``."""
+        return self.add_worker(WorkerChaosEvent(
+            worker, index, PARTITION_WORKER, count=count))
+
+    def delay_heartbeat(self, worker: str, index: int,
+                        seconds: float) -> "NetChaosPlan":
+        """Hold ``worker``'s ``index``-th heartbeat for ``seconds``."""
+        return self.add_worker(WorkerChaosEvent(
+            worker, index, DELAY_HEARTBEAT, op="work_heartbeat",
+            seconds=seconds))
+
+    def duplicate_complete(self, index: int) -> "NetChaosPlan":
+        """Process the ``index``-th ``/v1/work/complete`` twice.
+
+        The at-least-once duplicate of the *terminal* write: the
+        second processing must be absorbed by the queue's idempotent
+        complete (same lease token, same content-addressed verdict),
+        never journaled twice.
+        """
+        return self.duplicate("work_complete", index)
+
     def match(self, op: str, index: int
               ) -> List[NetChaosEvent]:
         """Every not-yet-fired event at this request coordinate.
@@ -258,7 +356,29 @@ class NetChaosPlan:
                 matched.append(event)
         return matched
 
+    def match_worker(self, worker: str, op: str, op_index: int,
+                     total_index: int) -> List[WorkerChaosEvent]:
+        """Every fleet event covering this worker-request coordinate.
+
+        ``op_index`` counts the worker's requests of this op;
+        ``total_index`` counts all of the worker's authenticated
+        requests.  A ``partition_worker`` span matches ``count``
+        consecutive coordinates but tallies as *one* fired fault.
+        """
+        matched = []
+        for event in self.worker_events:
+            if event.worker != worker:
+                continue
+            index = total_index if event.op == "*" else op_index
+            if event.op not in ("*", op):
+                continue
+            if event.index <= index < event.index + event.count:
+                self._worker_fired.add(
+                    (event.worker, event.op, event.index, event.kind))
+                matched.append(event)
+        return matched
+
     @property
     def fired(self) -> int:
         """How many injected faults have actually fired so far."""
-        return len(self._fired)
+        return len(self._fired) + len(self._worker_fired)

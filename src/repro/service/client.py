@@ -27,8 +27,21 @@ semantics over an arbitrarily unreliable network:
   content-addressed dedup is the client's load-bearing design.
 
 Retryable faults: connection errors, timeouts, torn/garbled
-responses, HTTP 5xx.  Typed client errors (4xx) are *not* retried —
-they are deterministic verdicts about the request itself.
+responses, HTTP 5xx.  A 503 carrying ``Retry-After`` is retried *at
+the server's requested pace* (the server knows its own lock
+contention better than the client's backoff curve does).  Typed
+client errors (4xx) are *not* retried — they are deterministic
+verdicts about the request itself; 401/403/409 re-raise as their
+original exception types
+(:class:`~repro.exceptions.AuthenticationError` /
+:class:`~repro.exceptions.AuthorizationError` /
+:class:`~repro.exceptions.StaleLeaseError`) so remote callers can
+react exactly as in-process ones do.
+
+With an :class:`~repro.service.auth.WorkerAuth`, the client also
+speaks the authenticated ``/v1/work/*`` fleet surface and the
+long-poll :meth:`ServiceClient.watch` generator replaces
+poll-loop waiting with cursor-resumable streaming.
 """
 
 from __future__ import annotations
@@ -37,9 +50,15 @@ import http.client
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from repro.exceptions import ServiceError
+from repro.exceptions import (
+    AuthenticationError,
+    AuthorizationError,
+    ServiceError,
+    StaleLeaseError,
+)
+from repro.service.auth import WorkerAuth
 from repro.service.jobs import JobSpec
 from repro.service.net import open_envelope
 from repro.service.queue import backoff_delay
@@ -54,6 +73,15 @@ import json
 _RETRYABLE = (OSError, socket.timeout, TimeoutError,
               http.client.HTTPException)
 
+#: Server error_type → the exception class it re-raises as
+#: client-side, so remote and in-process callers share one handling
+#: path for auth refusals and stale-lease refusals.
+_TYPED_ERRORS = {
+    "AuthenticationError": AuthenticationError,
+    "AuthorizationError": AuthorizationError,
+    "StaleLeaseError": StaleLeaseError,
+}
+
 
 @dataclass
 class ClientStats:
@@ -65,6 +93,8 @@ class ClientStats:
     network_faults: int = 0
     garbled_responses: int = 0
     server_errors: int = 0
+    unavailable_responses: int = 0
+    retry_after_honored: int = 0
     deduplicated_submissions: int = 0
     backoff_seconds: float = 0.0
     fault_log: List[str] = field(default_factory=list)
@@ -77,6 +107,8 @@ class ClientStats:
             "network_faults": self.network_faults,
             "garbled_responses": self.garbled_responses,
             "server_errors": self.server_errors,
+            "unavailable_responses": self.unavailable_responses,
+            "retry_after_honored": self.retry_after_honored,
             "deduplicated_submissions":
                 self.deduplicated_submissions,
             "backoff_seconds": round(self.backoff_seconds, 6),
@@ -92,11 +124,17 @@ class ServiceClient:
                  backoff_base: float = 0.05,
                  backoff_factor: float = 2.0,
                  backoff_jitter: float = 0.1,
+                 backoff_cap: float = 2.0,
+                 auth: Optional[WorkerAuth] = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if max_attempts < 1:
             raise ServiceError(
                 f"client max_attempts must be >= 1, got "
                 f"{max_attempts}"
+            )
+        if backoff_cap <= 0.0:
+            raise ServiceError(
+                f"backoff_cap must be > 0, got {backoff_cap!r}"
             )
         self.host = host
         self.port = int(port)
@@ -105,24 +143,29 @@ class ServiceClient:
         self.backoff_base = float(backoff_base)
         self.backoff_factor = float(backoff_factor)
         self.backoff_jitter = float(backoff_jitter)
+        self.backoff_cap = float(backoff_cap)
+        self.auth = auth
         self.sleep = sleep
         self.stats = ClientStats()
 
     # -- transport ---------------------------------------------------
 
-    def _once(self, method: str, path: str,
-              body: Optional[bytes]) -> "tuple[int, Any]":
+    def _once(self, method: str, path: str, body: Optional[bytes]
+              ) -> "tuple[int, Any, Optional[str]]":
         """One attempt on one fresh connection (reconnect-by-design)."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
             headers = {"Content-Type": "application/json",
                        "Connection": "close"}
+            if self.auth is not None:
+                headers.update(self.auth.headers(method, path, body))
             connection.request(method, path, body=body,
                                headers=headers)
             response = connection.getresponse()
             blob = response.read()
-            return response.status, open_envelope(blob)
+            return (response.status, open_envelope(blob),
+                    response.getheader("Retry-After"))
         finally:
             connection.close()
 
@@ -132,9 +175,16 @@ class ServiceClient:
         """Retry loop: timeouts, reconnects, backoff, digest checks.
 
         Every request through here is idempotent end to end (reads
-        trivially; submits/cancels by content-addressing), so a
-        retry after an *ambiguous* failure — the request may or may
-        not have been processed — is always safe.
+        trivially; submits/cancels by content-addressing; fleet
+        mutations by lease token), so a retry after an *ambiguous*
+        failure — the request may or may not have been processed —
+        is always safe.
+
+        Backoff is capped at ``backoff_cap`` so a long retry chain
+        stays bounded instead of growing exponentially forever, and
+        a 503's ``Retry-After`` hint overrides the computed delay
+        (still under the cap): the server is asking for a specific
+        pace and gets it.
         """
         body = json.dumps(payload).encode("utf-8") \
             if payload is not None else None
@@ -143,8 +193,10 @@ class ServiceClient:
         faults: List[str] = []
         for attempt in range(1, self.max_attempts + 1):
             self.stats.attempts += 1
+            retry_hint: Optional[float] = None
             try:
-                status, answer = self._once(method, path, body)
+                status, answer, retry_after = \
+                    self._once(method, path, body)
             except _RETRYABLE as exc:
                 self.stats.network_faults += 1
                 faults.append(f"attempt {attempt}: "
@@ -155,7 +207,16 @@ class ServiceClient:
                 self.stats.garbled_responses += 1
                 faults.append(f"attempt {attempt}: {exc}")
             else:
-                if status >= 500:
+                if status == 503:
+                    self.stats.unavailable_responses += 1
+                    faults.append(f"attempt {attempt}: HTTP 503: "
+                                  f"{answer!r}")
+                    try:
+                        retry_hint = float(retry_after) \
+                            if retry_after else None
+                    except ValueError:
+                        retry_hint = None
+                elif status >= 500:
                     self.stats.server_errors += 1
                     faults.append(f"attempt {attempt}: HTTP "
                                   f"{status}: {answer!r}")
@@ -167,6 +228,10 @@ class ServiceClient:
             delay = backoff_delay(
                 request_key, attempt, self.backoff_base,
                 self.backoff_factor, self.backoff_jitter)
+            if retry_hint is not None:
+                self.stats.retry_after_honored += 1
+                delay = retry_hint
+            delay = min(delay, self.backoff_cap)
             self.stats.backoff_seconds += delay
             self.sleep(delay)
         self.stats.fault_log.extend(faults)
@@ -179,6 +244,15 @@ class ServiceClient:
     def _expect(status: int, answer: Any,
                 ok=(200,)) -> Dict[str, Any]:
         if status not in ok:
+            if isinstance(answer, dict):
+                # Re-raise the server's typed refusal as its
+                # original exception class (401 → Authentication,
+                # 403 → Authorization, 409 → StaleLease) so remote
+                # callers handle it exactly as in-process ones.
+                error_class = _TYPED_ERRORS.get(
+                    str(answer.get("error_type", "")))
+                if error_class is not None:
+                    raise error_class(str(answer.get("error", "")))
             error = answer.get("error", answer) \
                 if isinstance(answer, dict) else answer
             raise ServiceError(
@@ -252,9 +326,107 @@ class ServiceClient:
             "GET", f"/v1/jobs/{fingerprint}/progress")
         return list(self._expect(status, answer).get("events", []))
 
+    def watch(self, fingerprint: str, *,
+              timeout: float = 120.0,
+              wait: float = 5.0,
+              cursor: int = 0) -> Iterator[Dict[str, Any]]:
+        """Stream progress events by long-poll until terminal.
+
+        Replaces poll-loop waiting: each ``/v1/watch`` request holds
+        the connection server-side until events past ``cursor``
+        arrive, the job goes terminal, or ``wait`` elapses (an empty
+        page, not an error).  The cursor indexes the job's journaled
+        progress records, so a watch torn by a disconnect — or a
+        server restart — resumes exactly where it left off; pass a
+        starting ``cursor`` to resume an earlier watch.  Yields each
+        event exactly once, in order; raises
+        :class:`~repro.exceptions.ServiceError` if the job is still
+        live at ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        position = max(0, int(cursor))
+        while True:
+            status, answer = self._request(
+                "GET", f"/v1/watch/{fingerprint}"
+                       f"?cursor={position}&wait={wait:g}")
+            page = self._expect(status, answer)
+            for event in page.get("events", []):
+                yield event
+            position = int(page.get("cursor", position))
+            if page.get("terminal"):
+                return
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"watch of job {fingerprint[:12]}… timed out "
+                    f"after {timeout:g}s with the job still "
+                    f"{page.get('state', 'unknown')}"
+                )
+
     def cancel(self, fingerprint: str) -> Dict[str, Any]:
         status, answer = self._request(
             "POST", f"/v1/jobs/{fingerprint}/cancel")
+        return self._expect(status, answer)
+
+    # -- worker fleet ------------------------------------------------
+
+    def work_claim(self) -> Dict[str, Any]:
+        """Claim one job over the wire (requires ``auth``).
+
+        Returns the server's ``{"lease": {...} | None, "drained":
+        bool}`` payload; a present lease carries the spec, the lease
+        token, expiry/deadline, and — on a cache hit — the cached
+        verdict to complete with immediately.
+        """
+        status, answer = self._request("POST", "/v1/work/claim", {})
+        return self._expect(status, answer)
+
+    def work_heartbeat(self, fingerprint: str,
+                       token: str) -> float:
+        """Renew the lease; returns the new expiry.
+
+        Raises :class:`~repro.exceptions.StaleLeaseError` when the
+        lease was re-issued or the deadline passed — the remote
+        holder must abandon the attempt, exactly as in-process.
+        """
+        status, answer = self._request(
+            "POST", "/v1/work/heartbeat",
+            {"fingerprint": fingerprint, "token": token})
+        return float(self._expect(status, answer)["expires_at"])
+
+    def work_progress(self, fingerprint: str, token: str,
+                      event: Dict[str, Any]) -> None:
+        """Append one progress event (token-checked server-side)."""
+        status, answer = self._request(
+            "POST", "/v1/work/progress",
+            {"fingerprint": fingerprint, "token": token,
+             "event": dict(event)})
+        self._expect(status, answer)
+
+    def work_complete(self, fingerprint: str, token: str,
+                      verdict: Dict[str, Any],
+                      meta: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
+        """Record the verdict; idempotent under blind resubmission.
+
+        The content-addressed verdict plus the lease token make a
+        retried complete safe: the server absorbs an exact duplicate
+        (``{"duplicate": true}``) rather than journaling it twice,
+        and refuses a late complete under a superseded token with
+        :class:`~repro.exceptions.StaleLeaseError`.
+        """
+        status, answer = self._request(
+            "POST", "/v1/work/complete",
+            {"fingerprint": fingerprint, "token": token,
+             "verdict": dict(verdict), "meta": dict(meta or {})})
+        return self._expect(status, answer)
+
+    def work_fail(self, fingerprint: str, token: str,
+                  error: str) -> Dict[str, Any]:
+        """Record a failed attempt (backoff-retry or dead-letter)."""
+        status, answer = self._request(
+            "POST", "/v1/work/fail",
+            {"fingerprint": fingerprint, "token": token,
+             "error": str(error)})
         return self._expect(status, answer)
 
     # -- sweeps ------------------------------------------------------

@@ -5,15 +5,39 @@
 surface (stdlib only — ``asyncio`` plus a hand-rolled request
 parser, no framework, no new dependency)::
 
-    GET  /v1/health                liveness + queue counts
+    GET  /v1/health                liveness + queue depth + fleet
     GET  /v1/stats                 ServiceStats + network tallies
     POST /v1/jobs                  submit a JobSpec (idempotent)
     GET  /v1/jobs/<fp>             replay-derived job status
     GET  /v1/jobs/<fp>/result      terminal verdict (409 while live)
     GET  /v1/jobs/<fp>/progress    streamed progress events
+    GET  /v1/watch/<fp>            long-poll progress (cursor-based)
     POST /v1/jobs/<fp>/cancel      cancel a pending job
     POST /v1/sweeps                submit a SweepSpec (decomposed)
     GET  /v1/sweeps/<fp>           journaled merge of the sweep
+
+plus the **authenticated worker-fleet surface** (HMAC shared-secret
+headers, :mod:`repro.service.auth`; unauthenticated or garbled
+tokens are refused with typed 401/403)::
+
+    POST /v1/work/claim            claim the oldest runnable job
+    POST /v1/work/heartbeat        renew a lease (409 when stale)
+    POST /v1/work/progress         append one progress event
+    POST /v1/work/complete         record the verdict (idempotent)
+    POST /v1/work/fail             record a failed attempt
+
+Every fleet mutation carries the lease token issued at claim, so a
+partitioned or zombie worker's late write is refused server-side
+exactly as ``StaleLeaseError`` refuses it in-process — and a
+*retried* complete under the still-valid token is absorbed
+idempotently, never journaled twice.
+
+``/v1/watch/<fp>?cursor=N&wait=S`` holds the connection until
+progress events past ``cursor`` arrive (or the job goes terminal, or
+``wait`` elapses — a zero-event timeout returns an *empty page*, not
+a hang).  The cursor is the index into the job's journaled progress
+records, so a watch torn by a disconnect or a server restart resumes
+exactly where it left off.
 
 Two properties carry the fault-tolerance story:
 
@@ -40,18 +64,30 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Any, Dict, Optional, Tuple
+import urllib.parse
+from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import (
+    AuthenticationError,
+    AuthorizationError,
+    CheckpointError,
+    ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+    StaleLeaseError,
+)
+from repro.service.auth import verify_request
 from repro.service.chaos import (
+    DELAY_HEARTBEAT,
     DELAY_RESPONSE,
     DISCONNECT,
     DROP_REQUEST,
     DUPLICATE_REQUEST,
     GARBLE_RESPONSE,
+    PARTITION_WORKER,
     NetChaosPlan,
 )
-from repro.service.jobs import JobSpec, canonical_json
+from repro.service.jobs import JobSpec
 from repro.service.sweep import (
     SweepSpec,
     load_sweep,
@@ -64,6 +100,11 @@ import json
 
 _MAX_BODY = 4 * 1024 * 1024  # a spec is small; cap abuse
 _FINGERPRINT_LEN = 64
+
+#: Ops that require fleet authentication (the lease-mutating surface).
+_WORK_OPS = frozenset({"work_claim", "work_heartbeat",
+                       "work_progress", "work_complete",
+                       "work_fail"})
 
 
 def envelope(payload: Any) -> bytes:
@@ -105,13 +146,26 @@ class CertificationServer:
     def __init__(self, service, host: str = "127.0.0.1",
                  port: int = 0, *,
                  net_chaos: Optional[NetChaosPlan] = None,
-                 merge_lock_timeout: float = 30.0) -> None:
+                 merge_lock_timeout: float = 30.0,
+                 worker_secret: Optional[str] = None,
+                 busy_retry_after: float = 0.25,
+                 watch_poll: float = 0.05,
+                 watch_max_wait: float = 30.0) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.net_chaos = net_chaos
         self.merge_lock_timeout = merge_lock_timeout
+        self.worker_secret = worker_secret
+        self.busy_retry_after = float(busy_retry_after)
+        self.watch_poll = float(watch_poll)
+        self.watch_max_wait = float(watch_max_wait)
         self.request_counts: Dict[str, int] = {}
+        #: worker name → lifetime authenticated-request tally, and
+        #: (worker, op) → per-op tally: the fleet's connection ledger
+        #: (/v1/health reports it; fleet chaos addresses by it).
+        self.worker_requests: Dict[str, int] = {}
+        self.worker_op_requests: Dict[Tuple[str, str], int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -190,20 +244,29 @@ class CertificationServer:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, body = request
-            op, responder = self._route(method, path, body)
+            method, path, body, headers = request
+            op, responder = self._route(method, path, body, headers)
             index = self.request_counts.get(op, 0)
             self.request_counts[op] = index + 1
             events = (self.net_chaos.match(op, index)
                       if self.net_chaos is not None else [])
             kinds = {event.kind for event in events}
-            status, payload = responder()
+            worker: Optional[str] = None
+            if op in _WORK_OPS:
+                worker = self._authenticate(method, path, body,
+                                            headers)
+                dropped = await self._fleet_chaos(worker, op)
+                if dropped:
+                    return  # partitioned: not one response byte
+            status, payload = await self._run_responder(responder,
+                                                        worker)
             if DUPLICATE_REQUEST in kinds:
                 # An at-least-once delivery duplicate: the same
                 # request is processed a second time, and the second
                 # outcome is what the client sees.  Idempotent
                 # submission makes both outcomes agree.
-                status, payload = responder()
+                status, payload = await self._run_responder(responder,
+                                                            worker)
             if DROP_REQUEST in kinds:
                 return  # not one response byte
             for event in events:
@@ -216,15 +279,29 @@ class CertificationServer:
                                 garble=garble, cut=cut)
         except ConnectionError:
             pass
+        except AuthenticationError as exc:
+            await self._try_respond(writer, 401, self._typed(exc))
+        except AuthorizationError as exc:
+            await self._try_respond(writer, 403, self._typed(exc))
+        except StaleLeaseError as exc:
+            # A late write from a partitioned/zombie holder: a
+            # deterministic refusal, not a server fault — 409 so the
+            # client does not retry it.
+            await self._try_respond(writer, 409, self._typed(exc))
+        except ServiceUnavailableError as exc:
+            await self._try_respond(
+                writer, 503, self._typed(exc),
+                extra_headers={"Retry-After":
+                               f"{exc.retry_after:g}"})
         except ReproError as exc:
-            await self._try_respond(writer, 500,
-                                    {"error": f"{type(exc).__name__}:"
-                                              f" {exc}"})
+            await self._try_respond(writer, 500, self._typed(exc))
         except Exception as exc:  # noqa: BLE001 - typed to client
             await self._try_respond(writer, 500,
                                     {"error": f"internal error: "
                                               f"{type(exc).__name__}:"
-                                              f" {exc}"})
+                                              f" {exc}",
+                                     "error_type":
+                                         type(exc).__name__})
         finally:
             try:
                 writer.close()
@@ -232,8 +309,57 @@ class CertificationServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader
-                            ) -> Optional[Tuple[str, str, bytes]]:
+    @staticmethod
+    def _typed(exc: BaseException) -> Dict[str, Any]:
+        """Error payload carrying the exception type for clients."""
+        return {"error": f"{type(exc).__name__}: {exc}",
+                "error_type": type(exc).__name__}
+
+    @staticmethod
+    async def _run_responder(responder, worker: Optional[str] = None
+                             ) -> Tuple[int, Dict[str, Any]]:
+        result = responder(worker) if worker is not None \
+            else responder()
+        if asyncio.iscoroutine(result):
+            result = await result
+        return result
+
+    def _authenticate(self, method: str, path: str, body: bytes,
+                      headers: Mapping[str, str]) -> str:
+        """Verify the fleet token; tallies and returns the worker."""
+        if self.worker_secret is None:
+            raise AuthenticationError(
+                "this server has no fleet secret configured; the "
+                "/v1/work surface is disabled"
+            )
+        worker = verify_request(self.worker_secret, method, path,
+                                headers, body)
+        self.worker_requests[worker] = \
+            self.worker_requests.get(worker, 0) + 1
+        return worker
+
+    async def _fleet_chaos(self, worker: str, op: str) -> bool:
+        """Fire worker-coordinate chaos; True = drop the request."""
+        op_index = self.worker_op_requests.get((worker, op), 0)
+        self.worker_op_requests[(worker, op)] = op_index + 1
+        if self.net_chaos is None:
+            return False
+        total_index = self.worker_requests.get(worker, 1) - 1
+        events = self.net_chaos.match_worker(worker, op, op_index,
+                                             total_index)
+        dropped = False
+        for event in events:
+            if event.kind == PARTITION_WORKER:
+                dropped = True
+            elif event.kind == DELAY_HEARTBEAT:
+                # Delay *processing*, so the renewal lands late by
+                # the server's clock — the zombie coordinate.
+                await asyncio.sleep(event.seconds)
+        return dropped
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes, Dict[str, str]]]:
         line = await reader.readline()
         if not line.strip():
             return None
@@ -243,11 +369,13 @@ class CertificationServer:
         except ValueError:
             raise ServiceError(f"malformed request line {line!r}")
         length = 0
+        headers: Dict[str, str] = {}
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 try:
                     length = int(value.strip())
@@ -261,24 +389,33 @@ class CertificationServer:
                 f"{_MAX_BODY}-byte cap"
             )
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, body
+        return method.upper(), path, body, headers
 
     async def _respond(self, writer: asyncio.StreamWriter,
                        status: int, blob: bytes, *,
                        garble: bool = False,
-                       cut: Optional[int] = None) -> None:
+                       cut: Optional[int] = None,
+                       extra_headers: Optional[Dict[str, str]] = None
+                       ) -> None:
         if garble and blob:
             # Flip one byte inside the payload region so the HTTP
             # framing survives but the envelope digest cannot.
             at = min(len(blob) - 2, len(blob) // 2)
             blob = blob[:at] + bytes([blob[at] ^ 0x01]) + \
                 blob[at + 1:]
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  409: "Conflict", 500: "Internal Server Error"}
+        reason = {200: "OK", 400: "Bad Request",
+                  401: "Unauthorized", 403: "Forbidden",
+                  404: "Not Found", 409: "Conflict",
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in
+                        (extra_headers or {}).items())
         head = (f"HTTP/1.1 {status} {reason.get(status, 'Status')}"
                 f"\r\nContent-Type: application/json"
                 f"\r\nContent-Length: {len(blob)}"
-                f"\r\nConnection: close\r\n\r\n").encode("latin-1")
+                f"\r\n{extra}"
+                f"Connection: close\r\n\r\n").encode("latin-1")
         if cut is not None:
             # Disconnect chaos: some bytes, then a torn connection.
             writer.write(head + blob[:cut])
@@ -288,18 +425,22 @@ class CertificationServer:
         writer.write(head + blob)
         await writer.drain()
 
-    async def _try_respond(self, writer, status, payload) -> None:
+    async def _try_respond(self, writer, status, payload,
+                           extra_headers=None) -> None:
         try:
-            await self._respond(writer, status, envelope(payload))
+            await self._respond(writer, status, envelope(payload),
+                                extra_headers=extra_headers)
         except (ConnectionError, OSError):
             pass
 
     # -- routing -----------------------------------------------------
 
-    def _route(self, method: str, path: str, body: bytes):
+    def _route(self, method: str, path: str, body: bytes,
+               headers: Mapping[str, str]):
         """Map a request to (op name, zero-arg responder)."""
-        parts = [part for part in path.split("?")[0].split("/")
-                 if part]
+        bare, _, query_text = path.partition("?")
+        query = urllib.parse.parse_qs(query_text)
+        parts = [part for part in bare.split("/") if part]
         if parts[:1] != ["v1"]:
             return "health", lambda: (
                 404, {"error": f"unknown path {path!r}"})
@@ -324,6 +465,26 @@ class CertificationServer:
             if rest[2:] == ["cancel"] and method == "POST":
                 return "cancel", \
                     lambda: self._post_cancel(fingerprint)
+        if len(rest) == 2 and rest[0] == "watch" and \
+                method == "GET":
+            return "watch", \
+                lambda: self._get_watch(rest[1], query)
+        if len(rest) == 2 and rest[0] == "work" and \
+                method == "POST":
+            verb = rest[1]
+            work = {
+                "claim": self._post_work_claim,
+                "heartbeat": self._post_work_heartbeat,
+                "progress": self._post_work_progress,
+                "complete": self._post_work_complete,
+                "fail": self._post_work_fail,
+            }
+            if verb in work:
+                responder = work[verb]
+                # The worker identity is injected post-auth by
+                # _run_responder; _WORK_OPS routing guarantees it.
+                return f"work_{verb}", \
+                    lambda worker=None: responder(body, worker)
         if rest == ["sweeps"] and method == "POST":
             return "sweep_submit", lambda: self._post_sweep(body)
         if len(rest) == 2 and rest[0] == "sweeps" and \
@@ -348,10 +509,19 @@ class CertificationServer:
     # -- endpoint handlers -------------------------------------------
 
     def _get_health(self) -> Tuple[int, Dict[str, Any]]:
-        return 200, {"ok": True,
-                     "counts": self.service.counts()}
+        counts = self.service.counts()
+        return 200, {
+            "ok": True,
+            "counts": counts,
+            "queue_depth": counts.get("pending", 0),
+            "active_leases": len(self.service.queue.leases()),
+            "workers": dict(sorted(self.worker_requests.items())),
+            "drained": (counts.get("pending", 0)
+                        + counts.get("running", 0)) == 0,
+        }
 
     def _get_stats(self) -> Tuple[int, Dict[str, Any]]:
+        counts = self.service.counts()
         return 200, {
             "service": self.service.stats().to_json_dict(),
             "net": {
@@ -359,6 +529,16 @@ class CertificationServer:
                     self.request_counts.items())),
                 "chaos_fired": (self.net_chaos.fired
                                 if self.net_chaos else 0),
+            },
+            "fleet": {
+                "queue_depth": counts.get("pending", 0),
+                "active_leases": len(self.service.queue.leases()),
+                "workers": dict(sorted(
+                    self.worker_requests.items())),
+                "worker_ops": {
+                    f"{worker}:{op}": count
+                    for (worker, op), count in sorted(
+                        self.worker_op_requests.items())},
             },
         }
 
@@ -451,9 +631,146 @@ class CertificationServer:
         if sweep is None:
             return 404, {"error": f"unknown sweep "
                                   f"{fingerprint[:12]}…"}
-        return 200, merge_sweep(
-            self.service, sweep,
-            lock_timeout=self.merge_lock_timeout)
+        try:
+            merged = merge_sweep(
+                self.service, sweep,
+                lock_timeout=self.merge_lock_timeout)
+        except CheckpointError as exc:
+            if "advisory lock" not in str(exc):
+                raise
+            # The merge journal's advisory lock is contended (another
+            # merge in flight): a transient condition, so answer 503
+            # with Retry-After instead of surfacing it as damage.
+            raise ServiceUnavailableError(
+                f"sweep {fingerprint[:12]}… merge is contended: "
+                f"{exc}", retry_after=self.busy_retry_after
+            ) from exc
+        return 200, merged
+
+    # -- streaming watch ---------------------------------------------
+
+    async def _get_watch(self, fingerprint: str,
+                         query: Dict[str, Any]
+                         ) -> Tuple[int, Dict[str, Any]]:
+        if self._lookup(fingerprint) is None:
+            return 404, {"error": f"unknown job "
+                                  f"{fingerprint[:12]}…"}
+        try:
+            cursor = int(query.get("cursor", ["0"])[0])
+            wait = float(query.get("wait", ["10"])[0])
+        except (ValueError, IndexError):
+            return 400, {"error": "watch cursor/wait must be "
+                                  "numeric"}
+        cursor = max(0, cursor)
+        wait = min(max(0.0, wait), self.watch_max_wait)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + wait
+        while True:
+            # Status *before* events: progress writes precede the
+            # terminal journal append in every worker, so a terminal
+            # status read first guarantees the events read after it
+            # are complete — the reverse order could report terminal
+            # while missing the final page.
+            status = self.service.status(fingerprint)
+            events = self.service.queue.progress(fingerprint)
+            page = events[cursor:]
+            terminal = status is not None and status.terminal
+            if page or terminal or loop.time() >= deadline:
+                return 200, {
+                    "fingerprint": fingerprint,
+                    "cursor": cursor + len(page),
+                    "events": page,
+                    "terminal": terminal,
+                    "state": (status.state if status is not None
+                              else "unknown"),
+                }
+            await asyncio.sleep(self.watch_poll)
+
+    # -- worker-fleet endpoints --------------------------------------
+
+    def _post_work_claim(self, body: bytes, worker: str
+                         ) -> Tuple[int, Dict[str, Any]]:
+        # Reap lazily on every claim: remote fleets have no local
+        # supervisor loop, so the server itself returns abandoned
+        # leases to pending before handing out work.
+        self.service.queue.reap_expired()
+        lease = self.service.queue.claim(worker)
+        if lease is None:
+            counts = self.service.counts()
+            drained = (counts.get("pending", 0)
+                       + counts.get("running", 0)) == 0
+            return 200, {"lease": None, "drained": drained}
+        payload = {
+            "fingerprint": lease.fingerprint,
+            "token": lease.token,
+            "attempt": lease.attempt,
+            "claimed_at": lease.claimed_at,
+            "expires_at": lease.expires_at,
+            "deadline_at": lease.deadline_at,
+            "submit_index": lease.submit_index,
+            "lease_ttl": self.service.queue.lease_ttl,
+            "spec": lease.spec.to_json_dict(),
+        }
+        cached = self.service.cache.get_entry(lease.fingerprint)
+        if cached is not None:
+            # Determinism dividend over the wire: the worker
+            # completes immediately with the cached verdict instead
+            # of re-simulating.
+            payload["cached_verdict"] = cached["verdict"]
+            payload["cached_meta"] = dict(cached.get("meta", {}))
+        return 200, {"lease": payload, "drained": False}
+
+    def _post_work_heartbeat(self, body: bytes, worker: str
+                             ) -> Tuple[int, Dict[str, Any]]:
+        data = self._parse_body(body)
+        fingerprint = str(data.get("fingerprint", ""))
+        token = str(data.get("token", ""))
+        try:
+            expires_at = self.service.queue.heartbeat(fingerprint,
+                                                      token)
+        except StaleLeaseError:
+            raise
+        except ServiceError as exc:
+            # Deadline passed: deterministic refusal, not a server
+            # fault — 409 so the worker abandons, never retries.
+            return 409, self._typed(exc)
+        return 200, {"fingerprint": fingerprint,
+                     "expires_at": expires_at}
+
+    def _post_work_progress(self, body: bytes, worker: str
+                            ) -> Tuple[int, Dict[str, Any]]:
+        data = self._parse_body(body)
+        fingerprint = str(data.get("fingerprint", ""))
+        token = str(data.get("token", ""))
+        self.service.queue.record_progress_checked(
+            fingerprint, token, dict(data.get("event", {})))
+        return 200, {"fingerprint": fingerprint, "recorded": True}
+
+    def _post_work_complete(self, body: bytes, worker: str
+                            ) -> Tuple[int, Dict[str, Any]]:
+        data = self._parse_body(body)
+        fingerprint = str(data.get("fingerprint", ""))
+        token = str(data.get("token", ""))
+        verdict = dict(data.get("verdict", {}))
+        meta = dict(data.get("meta", {}))
+        # Cache before the journal append, mirroring the in-process
+        # worker: put() is idempotent for identical verdicts and
+        # refuses a differing one (determinism violation).
+        self.service.cache.put(fingerprint, verdict, meta=meta)
+        recorded = self.service.queue.complete(
+            fingerprint, token, verdict, meta=meta)
+        return 200, {"fingerprint": fingerprint,
+                     "recorded": recorded,
+                     "duplicate": not recorded}
+
+    def _post_work_fail(self, body: bytes, worker: str
+                        ) -> Tuple[int, Dict[str, Any]]:
+        data = self._parse_body(body)
+        fingerprint = str(data.get("fingerprint", ""))
+        token = str(data.get("token", ""))
+        self.service.queue.fail(fingerprint, token,
+                                str(data.get("error", "")))
+        return 200, {"fingerprint": fingerprint, "recorded": True}
 
 
 __all__ = [

@@ -60,6 +60,7 @@ class ServiceStats:
     events: Dict[str, int] = field(default_factory=dict)
     live_leases: int = 0
     deadletters: int = 0
+    deadletter_reasons: List[str] = field(default_factory=list)
     cache_entries: int = 0
     cache_quarantined: int = 0
     cache_evictions: Dict[str, int] = field(default_factory=dict)
@@ -82,6 +83,7 @@ class ServiceStats:
             "dead_lettered": self.dead_lettered,
             "live_leases": self.live_leases,
             "deadletters": self.deadletters,
+            "deadletter_reasons": list(self.deadletter_reasons),
             "cache_entries": self.cache_entries,
             "cache_quarantined": self.cache_quarantined,
             "cache_evictions": dict(sorted(
@@ -95,6 +97,7 @@ class ServiceStats:
         evictions = ", ".join(
             f"{reason}={count}" for reason, count in
             sorted(self.cache_evictions.items())) or "none"
+        reasons = "; ".join(self.deadletter_reasons) or "none"
         return [
             f"service: jobs [{jobs}], {self.live_leases} live "
             f"leases, {self.deadletters} dead-lettered",
@@ -107,6 +110,7 @@ class ServiceStats:
             f"  cache: {self.cache_entries} entries, "
             f"{self.cache_quarantined} quarantined, "
             f"evictions [{evictions}]",
+            f"  dead-letter reasons: [{reasons}]",
         ]
 
 
@@ -128,6 +132,10 @@ class ServiceConfig:
     backoff_jitter: float = 0.1
     poll_interval: float = 0.05
     store_lock_timeout: float = 10.0
+    # Expiry padding for remote fleets: a heartbeat landing
+    # marginally late by the server's clock (skew + transit) must
+    # not forfeit a live lease.  The hard deadline is never padded.
+    clock_skew_grace: float = 0.0
     # Verdict-cache eviction policy (None = unbounded, the historic
     # behaviour): an LRU entry bound and/or a TTL in seconds.
     cache_max_entries: Optional[int] = None
@@ -262,7 +270,8 @@ class CertificationService:
             max_attempts=self.config.max_attempts,
             backoff_base=self.config.backoff_base,
             backoff_factor=self.config.backoff_factor,
-            backoff_jitter=self.config.backoff_jitter)
+            backoff_jitter=self.config.backoff_jitter,
+            clock_skew_grace=self.config.clock_skew_grace)
         self.cache = ResultCache(
             os.path.join(self.root, "cache"),
             max_entries=self.config.cache_max_entries,
@@ -290,11 +299,16 @@ class CertificationService:
 
     def stats(self) -> ServiceStats:
         """The service-wide :class:`ServiceStats` snapshot."""
+        letters = self.queue.deadletters()
         return ServiceStats(
             jobs=self.queue.counts(),
             events=self.queue.event_counts(),
             live_leases=len(self.queue.leases()),
-            deadletters=len(self.queue.deadletters()),
+            deadletters=len(letters),
+            deadletter_reasons=[
+                f"{letter.get('fingerprint', '')[:12]}…: "
+                f"{letter.get('error', '')}"
+                for letter in letters],
             cache_entries=len(self.cache.entries()),
             cache_quarantined=len(self.cache.quarantined()),
             cache_evictions=self.cache.eviction_counts())

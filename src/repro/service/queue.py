@@ -52,7 +52,7 @@ from repro.exceptions import CheckpointError, ServiceError, \
 from repro.runtime.checkpoint import CheckpointStore, _flock, \
     _read_checked_json, _write_atomic_json
 from repro.service.jobs import CANCELLED, DEAD, FAILED, JobSpec, \
-    JobStatus, PENDING, RUNNING, SUCCEEDED
+    JobStatus, PENDING, RUNNING, SUCCEEDED, canonical_json
 
 _EVENTS = "events"
 _QUEUE_LOCK = "queue.lock"
@@ -109,7 +109,13 @@ class JobQueue:
                  backoff_base: float = 1.0,
                  backoff_factor: float = 2.0,
                  backoff_jitter: float = 0.1,
+                 clock_skew_grace: float = 0.0,
                  clock: Callable[[], float] = time.time) -> None:
+        if clock_skew_grace < 0.0:
+            raise ServiceError(
+                f"clock_skew_grace must be >= 0, got "
+                f"{clock_skew_grace!r}"
+            )
         self.root = os.fspath(root)
         self.lease_ttl = float(lease_ttl)
         self.job_deadline = float(job_deadline)
@@ -117,6 +123,7 @@ class JobQueue:
         self.backoff_base = float(backoff_base)
         self.backoff_factor = float(backoff_factor)
         self.backoff_jitter = float(backoff_jitter)
+        self.clock_skew_grace = float(clock_skew_grace)
         self.clock = clock
         self.journal = CheckpointStore(
             os.path.join(self.root, "journal"))
@@ -336,7 +343,9 @@ class JobQueue:
                     continue
                 lease = self._read_lease(fingerprint)
                 if lease is not None:
-                    if float(lease.get("expires_at", 0.0)) > now:
+                    expires = float(lease.get("expires_at", 0.0)) \
+                        + self.clock_skew_grace
+                    if expires > now:
                         continue  # live holder, journal lost claim
                     self._drop_lease(fingerprint)
                 attempt = status.attempt + 1
@@ -394,10 +403,29 @@ class JobQueue:
 
     def complete(self, fingerprint: str, token: str,
                  verdict: Dict[str, Any],
-                 meta: Optional[Dict[str, Any]] = None) -> None:
-        """Record a terminal verdict (token-checked, exactly once)."""
+                 meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Record a terminal verdict (token-checked, exactly once).
+
+        Returns True when this call journaled the verdict, False when
+        it was an exact *duplicate delivery*: the journal already
+        holds a ``complete`` for this job under the **same** lease
+        token with the **same** verdict, so a retried complete — a
+        remote worker resubmitting blindly after an ambiguous network
+        fault — is absorbed without a second journal append.  A late
+        complete under a *different* token (the lease expired and was
+        re-issued) is still refused with
+        :class:`~repro.exceptions.StaleLeaseError`: content-addressed
+        verdict + lease token together are what make resubmission
+        safe without ever double-counting.
+        """
         with self._locked():
-            self._check_token(fingerprint, token)
+            try:
+                self._check_token(fingerprint, token)
+            except StaleLeaseError:
+                if self._is_duplicate_complete(fingerprint, token,
+                                               verdict):
+                    return False
+                raise
             self.journal.append_record(_EVENTS, {
                 "event": "complete",
                 "fingerprint": fingerprint,
@@ -407,6 +435,28 @@ class JobQueue:
                 "completed_at": self.clock(),
             })
             self._drop_lease(fingerprint)
+            return True
+
+    def _is_duplicate_complete(self, fingerprint: str, token: str,
+                               verdict: Dict[str, Any]) -> bool:
+        """True iff the journal holds this exact complete already.
+
+        Caller holds the queue lock.  Matching is by canonical JSON of
+        the verdict — the same content-addressing the cache uses — so
+        only a bit-identical resubmission of the recorded verdict is
+        treated as duplicate delivery.
+        """
+        wanted = canonical_json(dict(verdict))
+        records = self.journal.load_records(_EVENTS,
+                                            tolerate_tail=True)
+        for record in records:
+            if (record.get("event") == "complete"
+                    and record.get("fingerprint") == fingerprint
+                    and record.get("token") == token
+                    and canonical_json(dict(record.get(
+                        "verdict", {}))) == wanted):
+                return True
+        return False
 
     def fail(self, fingerprint: str, token: str, error: str) -> None:
         """Record a failed attempt: backoff-retry or dead-letter."""
@@ -465,6 +515,15 @@ class JobQueue:
         heartbeats stopped at the deadline), and a crash between the
         claim event and the lease write (running job with no lease
         file at all).
+
+        ``clock_skew_grace`` pads the expiry (not the hard deadline)
+        before a lease is declared abandoned: in a multi-host fleet
+        the lease's ``expires_at`` was computed from *this* server's
+        clock but the holder heartbeats over a network, so a renewal
+        landing marginally "late" by the server's clock — skew plus
+        transit time — must not forfeit a live lease.  The deadline
+        is deliberately not padded: a job that overran its hard
+        budget is hung regardless of whose clock you trust.
         """
         now = self.clock()
         reaped = []
@@ -477,6 +536,7 @@ class JobQueue:
                 if lease is not None:
                     expired = (now > float(lease.get("expires_at",
                                                      0.0))
+                               + self.clock_skew_grace
                                or now > float(lease.get("deadline_at",
                                                         now + 1.0)))
                     if not expired:
@@ -521,6 +581,20 @@ class JobQueue:
         """Append one streaming progress event to the job journal."""
         self.job_store(fingerprint).append_record(
             "progress", dict(payload))
+
+    def record_progress_checked(self, fingerprint: str, token: str,
+                                payload: Dict[str, Any]) -> None:
+        """Token-checked progress append for remote holders.
+
+        A partitioned worker whose lease was re-issued must not keep
+        streaming into the job journal — its events would interleave
+        with the new holder's — so the wire path validates the lease
+        token before every append, where the in-process worker's
+        direct :meth:`record_progress` relies on process supervision.
+        """
+        with self._locked():
+            self._check_token(fingerprint, token)
+            self.record_progress(fingerprint, dict(payload))
 
     def progress(self, fingerprint: str) -> List[Dict[str, Any]]:
         """All streamed progress events, oldest first."""

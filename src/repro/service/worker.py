@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.analysis.engine import run_monte_carlo
@@ -68,6 +69,190 @@ def _build_case(code_name: str, gadget_name: str):
     code = _resolve_code(code_name)
     case = gadget_cases(code, (gadget_name,))[0]
     return case.factory()
+
+
+def resolve_policy(base: Optional[RuntimePolicy],
+                   params: Dict[str, Any]
+                   ) -> Optional[RuntimePolicy]:
+    """Per-job FallbackPolicy threading via ``fallback_ladder``."""
+    ladder = params.get("fallback_ladder")
+    if ladder is None:
+        return base
+    policy = base or RuntimePolicy()
+    return RuntimePolicy(
+        supervisor=policy.supervisor,
+        fallback=FallbackPolicy(ladder=tuple(ladder)),
+        chaos=policy.chaos)
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a job-kind handler needs, transport-agnostic.
+
+    The same handlers serve the in-process :class:`Worker` (progress
+    streamed straight into the job journal, chaos fired locally) and
+    the HTTP :class:`~repro.service.remote.RemoteWorker` (progress
+    posted over the wire, checkpoints in a local scratch store).  The
+    verdict they produce is a pure function of ``spec`` — where the
+    worker ran never shows up in the result.
+    """
+
+    spec: JobSpec
+    store: Any                      # engine CheckpointStore
+    worker: str
+    attempt: int
+    runtime: Optional[RuntimePolicy] = None
+    stream: Callable[[Dict[str, Any]], None] = lambda payload: None
+    on_batch: Callable[[int], None] = lambda at: None
+    meta_base: Dict[str, Any] = field(default_factory=dict)
+
+    def _meta(self, **extra: Any) -> Dict[str, Any]:
+        meta = {"cache_hit": False, "worker": self.worker,
+                "attempt": self.attempt}
+        meta.update(self.meta_base)
+        meta.update(extra)
+        return meta
+
+
+def execute_job(ctx: ExecutionContext
+                ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Dispatch one job spec to its seeded analysis entry point."""
+    handlers = {
+        "monte_carlo": _execute_monte_carlo,
+        "sequential_monte_carlo": _execute_sequential,
+        "stress_certify": _execute_stress,
+    }
+    try:
+        handler = handlers[ctx.spec.kind]
+    except KeyError:
+        raise ServiceError(
+            f"no handler for job kind {ctx.spec.kind!r}"
+        ) from None
+    return handler(ctx)
+
+
+def _execute_monte_carlo(ctx: ExecutionContext
+                         ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    params = ctx.spec.params_dict
+    gadget, initial, evaluator = _build_case(
+        params.get("code", "trivial"), params.get("gadget", "n"))
+    p = float(params["p"])
+    trials = int(params["trials"])
+    chunk_size = int(params.get("chunk_size", 64))
+
+    def progress(event) -> None:
+        if event.phase != "evaluate":
+            return
+        ctx.stream({
+            "phase": event.phase,
+            "chunk": event.chunk_index,
+            "chunks_total": event.chunks_total,
+            "worker": ctx.worker,
+            "attempt": ctx.attempt,
+        })
+        ctx.on_batch(event.chunk_index)
+
+    result = run_monte_carlo(
+        gadget, initial, evaluator, NoiseModel.uniform(p),
+        trials=trials, seed=int(params["seed"]),
+        chunk_size=chunk_size, workers=1,
+        checkpoint=ctx.store, resume=True, progress=progress,
+        runtime=resolve_policy(ctx.runtime, params))
+    interval = wilson_interval(result.failures, result.trials)
+    verdict = {
+        "kind": "monte_carlo",
+        "p": p,
+        "trials": result.trials,
+        "failures": result.failures,
+        "failure_rate": result.failure_rate,
+        "failures_by_fault_count": {
+            str(k): v for k, v in
+            sorted(result.failures_by_fault_count.items())},
+        "fault_count_histogram": {
+            str(k): v for k, v in
+            sorted(result.fault_count_histogram.items())},
+        "interval": interval.to_json_dict(),
+    }
+    stats = result.engine_stats
+    meta = ctx._meta(
+        evaluations=stats.evaluations if stats else None,
+        engine=stats.to_json_dict() if stats else None)
+    return verdict, meta
+
+
+def _execute_sequential(ctx: ExecutionContext
+                        ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    params = ctx.spec.params_dict
+    gadget, initial, evaluator = _build_case(
+        params.get("code", "trivial"), params.get("gadget", "n"))
+    p = float(params["p"])
+
+    def on_batch(batch: int, consumed: int, failures: int,
+                 decision: Optional[str]) -> None:
+        interval = wilson_interval(failures, consumed) \
+            if consumed else None
+        ctx.stream({
+            "batch": batch,
+            "trials": consumed,
+            "failures": failures,
+            "decision": decision,
+            "interval": (interval.to_json_dict()
+                         if interval else None),
+            "worker": ctx.worker,
+            "attempt": ctx.attempt,
+        })
+        ctx.on_batch(batch)
+
+    outcome = run_sequential_monte_carlo(
+        gadget, initial, evaluator, NoiseModel.uniform(p),
+        p0=float(params["p0"]), p1=float(params["p1"]),
+        alpha=float(params.get("alpha", 0.05)),
+        beta=float(params.get("beta", 0.05)),
+        max_trials=int(params["max_trials"]),
+        seed=int(params["seed"]),
+        batch_size=int(params.get("batch_size", 64)),
+        method=str(params.get("method", "sprt")),
+        checkpoint=ctx.store, resume=True, on_batch=on_batch,
+        runtime=resolve_policy(ctx.runtime, params))
+    claim = outcome.verdict
+    verdict = {
+        "kind": "sequential_monte_carlo",
+        "decision": claim.decision,
+        "partial": claim.decision == "undecided",
+        "claim": claim.to_json_dict(),
+        "trials": claim.trials,
+        "failures": claim.failures,
+        "batches": outcome.batches,
+    }
+    stats = outcome.result.engine_stats
+    meta = ctx._meta(
+        evaluations=stats.evaluations if stats else None,
+        engine=stats.to_json_dict() if stats else None)
+    return verdict, meta
+
+
+def _execute_stress(ctx: ExecutionContext
+                    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    params = ctx.spec.params_dict
+    code = _resolve_code(params.get("code", "trivial"))
+    report = stress_certify(
+        code=code,
+        p=float(params.get("p", 0.005)),
+        trials=int(params.get("trials", 100)),
+        seed=int(params.get("seed", 20260806)),
+        gadgets=tuple(params.get("gadgets", ("n", "recovery"))),
+        include_structural=bool(
+            params.get("include_structural", False)),
+        checkpoint=ctx.store,
+    )
+    verdict = {
+        "kind": "stress_certify",
+        "certified": report.certified,
+        "counts": report.counts(),
+        "report": json.loads(report.to_json()),
+    }
+    meta = ctx._meta(evaluations=None, rows=len(report.verdicts))
+    return verdict, meta
 
 
 class _Heartbeat(threading.Thread):
@@ -213,27 +398,19 @@ class Worker:
 
     def _execute(self, lease: Lease
                  ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-        spec = lease.spec
-        handlers: Dict[str, Callable[..., Tuple[Dict[str, Any],
-                                                Dict[str, Any]]]] = {
-            "monte_carlo": self._run_monte_carlo,
-            "sequential_monte_carlo": self._run_sequential,
-            "stress_certify": self._run_stress,
-        }
-        try:
-            handler = handlers[spec.kind]
-        except KeyError:
-            raise ServiceError(
-                f"no handler for job kind {spec.kind!r}"
-            ) from None
         heartbeat = _Heartbeat(self.queue, lease,
                                self.heartbeat_interval)
         heartbeat.start()
         store = self.queue.job_store(lease.fingerprint) \
             .substore("engine")
+        context = ExecutionContext(
+            spec=lease.spec, store=store, worker=self.name,
+            attempt=lease.attempt, runtime=self.runtime,
+            stream=lambda payload: self._stream(lease, payload),
+            on_batch=lambda at: self._chaos(lease, "batch", at=at))
         try:
             with store.exclusive(timeout=self.store_lock_timeout):
-                result = handler(lease, store)
+                result = execute_job(context)
         finally:
             heartbeat.stop()
         if heartbeat.stale.is_set():
@@ -243,157 +420,8 @@ class Worker:
             )
         return result
 
-    def _policy(self, params: Dict[str, Any]
-                ) -> Optional[RuntimePolicy]:
-        """Per-job FallbackPolicy threading via ``fallback_ladder``."""
-        ladder = params.get("fallback_ladder")
-        if ladder is None:
-            return self.runtime
-        base = self.runtime or RuntimePolicy()
-        return RuntimePolicy(
-            supervisor=base.supervisor,
-            fallback=FallbackPolicy(ladder=tuple(ladder)),
-            chaos=base.chaos)
-
     def _stream(self, lease: Lease, payload: Dict[str, Any]) -> None:
         self.queue.record_progress(lease.fingerprint, payload)
-
-    # -- job kinds ---------------------------------------------------
-
-    def _run_monte_carlo(self, lease: Lease, store
-                         ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-        params = lease.spec.params_dict
-        gadget, initial, evaluator = _build_case(
-            params.get("code", "trivial"), params.get("gadget", "n"))
-        p = float(params["p"])
-        trials = int(params["trials"])
-        chunk_size = int(params.get("chunk_size", 64))
-
-        def progress(event) -> None:
-            if event.phase != "evaluate":
-                return
-            self._stream(lease, {
-                "phase": event.phase,
-                "chunk": event.chunk_index,
-                "chunks_total": event.chunks_total,
-                "worker": self.name,
-                "attempt": lease.attempt,
-            })
-            self._chaos(lease, "batch", at=event.chunk_index)
-
-        result = run_monte_carlo(
-            gadget, initial, evaluator, NoiseModel.uniform(p),
-            trials=trials, seed=int(params["seed"]),
-            chunk_size=chunk_size, workers=1,
-            checkpoint=store, resume=True, progress=progress,
-            runtime=self._policy(params))
-        interval = wilson_interval(result.failures, result.trials)
-        verdict = {
-            "kind": "monte_carlo",
-            "p": p,
-            "trials": result.trials,
-            "failures": result.failures,
-            "failure_rate": result.failure_rate,
-            "failures_by_fault_count": {
-                str(k): v for k, v in
-                sorted(result.failures_by_fault_count.items())},
-            "fault_count_histogram": {
-                str(k): v for k, v in
-                sorted(result.fault_count_histogram.items())},
-            "interval": interval.to_json_dict(),
-        }
-        stats = result.engine_stats
-        meta = {
-            "cache_hit": False,
-            "worker": self.name,
-            "attempt": lease.attempt,
-            "evaluations": stats.evaluations if stats else None,
-            "engine": stats.to_json_dict() if stats else None,
-        }
-        return verdict, meta
-
-    def _run_sequential(self, lease: Lease, store
-                        ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-        params = lease.spec.params_dict
-        gadget, initial, evaluator = _build_case(
-            params.get("code", "trivial"), params.get("gadget", "n"))
-        p = float(params["p"])
-
-        def on_batch(batch: int, consumed: int, failures: int,
-                     decision: Optional[str]) -> None:
-            interval = wilson_interval(failures, consumed) \
-                if consumed else None
-            self._stream(lease, {
-                "batch": batch,
-                "trials": consumed,
-                "failures": failures,
-                "decision": decision,
-                "interval": (interval.to_json_dict()
-                             if interval else None),
-                "worker": self.name,
-                "attempt": lease.attempt,
-            })
-            self._chaos(lease, "batch", at=batch)
-
-        outcome = run_sequential_monte_carlo(
-            gadget, initial, evaluator, NoiseModel.uniform(p),
-            p0=float(params["p0"]), p1=float(params["p1"]),
-            alpha=float(params.get("alpha", 0.05)),
-            beta=float(params.get("beta", 0.05)),
-            max_trials=int(params["max_trials"]),
-            seed=int(params["seed"]),
-            batch_size=int(params.get("batch_size", 64)),
-            method=str(params.get("method", "sprt")),
-            checkpoint=store, resume=True, on_batch=on_batch,
-            runtime=self._policy(params))
-        claim = outcome.verdict
-        verdict = {
-            "kind": "sequential_monte_carlo",
-            "decision": claim.decision,
-            "partial": claim.decision == "undecided",
-            "claim": claim.to_json_dict(),
-            "trials": claim.trials,
-            "failures": claim.failures,
-            "batches": outcome.batches,
-        }
-        stats = outcome.result.engine_stats
-        meta = {
-            "cache_hit": False,
-            "worker": self.name,
-            "attempt": lease.attempt,
-            "evaluations": stats.evaluations if stats else None,
-            "engine": stats.to_json_dict() if stats else None,
-        }
-        return verdict, meta
-
-    def _run_stress(self, lease: Lease, store
-                    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-        params = lease.spec.params_dict
-        code = _resolve_code(params.get("code", "trivial"))
-        report = stress_certify(
-            code=code,
-            p=float(params.get("p", 0.005)),
-            trials=int(params.get("trials", 100)),
-            seed=int(params.get("seed", 20260806)),
-            gadgets=tuple(params.get("gadgets", ("n", "recovery"))),
-            include_structural=bool(
-                params.get("include_structural", False)),
-            checkpoint=store,
-        )
-        verdict = {
-            "kind": "stress_certify",
-            "certified": report.certified,
-            "counts": report.counts(),
-            "report": json.loads(report.to_json()),
-        }
-        meta = {
-            "cache_hit": False,
-            "worker": self.name,
-            "attempt": lease.attempt,
-            "evaluations": None,
-            "rows": len(report.verdicts),
-        }
-        return verdict, meta
 
 
 def submit_and_run(queue: JobQueue, cache: ResultCache,

@@ -343,6 +343,13 @@ class TestServiceStats:
         assert blob["events"]["submit"] == 1
         assert any("dead-lettered" in line
                    for line in stats.summary_lines())
+        # The dead-letter *reasons* ride along: fingerprint prefix
+        # plus the typed error that exhausted the attempts.
+        assert len(stats.deadletter_reasons) == 1
+        assert "injected failure" in stats.deadletter_reasons[0]
+        assert blob["deadletter_reasons"] == stats.deadletter_reasons
+        assert any("injected failure" in line
+                   for line in stats.summary_lines())
 
     def test_stats_endpoint_reports_service_and_net(self, served):
         service, _server, client = served
@@ -390,3 +397,90 @@ class TestConcurrentClients:
             thread.join()
         assert not errors
         assert len(service.queue.jobs()) == 1
+
+
+class TestServiceUnavailable:
+    """503 + Retry-After on merge-lock contention, honored client-side."""
+
+    def _drained_sweep(self, tmp_path):
+        from repro.service import SweepSpec, submit_sweep
+
+        service = CertificationService(str(tmp_path / "svc"),
+                                       config=fast_config())
+        sweep = SweepSpec.create(
+            "monte_carlo", code="trivial",
+            gadgets=["n"], p_grid=[0.01], seed=5, trials=40,
+            chunk_size=20)
+        submit_sweep(service, sweep)
+        service.worker("w1").run_until_drained()
+        return service, sweep
+
+    def test_contended_merge_answers_503_then_recovers(self, tmp_path):
+        service, sweep = self._drained_sweep(tmp_path)
+        store = service.sweep_store(sweep.fingerprint)
+        with CertificationServer(service, merge_lock_timeout=0.05,
+                                 busy_retry_after=0.02) as server:
+            # Hold the merge journal's advisory lock from this
+            # process (flock is per-open-file-description, so the
+            # server's own open contends): every attempt gets a 503.
+            with store.exclusive(timeout=1.0):
+                busy = _client(server, max_attempts=2,
+                               backoff_base=5.0, backoff_cap=0.05)
+                with pytest.raises(ServiceError,
+                                   match="failed after 2 attempts"):
+                    busy.sweep_table(sweep.fingerprint)
+                assert busy.stats.unavailable_responses == 2
+                # The one retry paced itself by the server's hint,
+                # not the (huge) computed backoff.
+                assert busy.stats.retry_after_honored == 1
+                assert busy.stats.backoff_seconds <= 0.05
+            # Lock released: the same request now merges fine and the
+            # client's retry machinery rides out a transient 503.
+            patient = _client(server, max_attempts=6,
+                              backoff_base=0.01)
+            table = patient.sweep_table(sweep.fingerprint)
+            assert table["complete"] is True
+            (cell,) = table["cells"].values()
+            assert cell["state"] == SUCCEEDED
+
+    def test_retry_after_hint_is_capped(self, tmp_path):
+        service, sweep = self._drained_sweep(tmp_path)
+        store = service.sweep_store(sweep.fingerprint)
+        slept = []
+        with CertificationServer(service, merge_lock_timeout=0.05,
+                                 busy_retry_after=60.0) as server:
+            with store.exclusive(timeout=1.0):
+                client = ServiceClient(
+                    *server.address, timeout=5.0, max_attempts=3,
+                    backoff_base=0.01, backoff_cap=0.03,
+                    sleep=slept.append)
+                with pytest.raises(ServiceError, match="HTTP 503"):
+                    client.sweep_table(sweep.fingerprint)
+        # A server asking for a 60 s pause does not get to stall the
+        # client past its own cap.
+        assert len(slept) == 2
+        assert all(delay <= 0.03 for delay in slept)
+        assert client.stats.retry_after_honored == 2
+
+
+class TestHealthEndpoint:
+    def test_health_reports_fleet_load(self, served):
+        service, _server, client = served
+        idle = client.health()
+        assert idle["ok"] is True
+        assert idle["queue_depth"] == 0
+        assert idle["active_leases"] == 0
+        assert idle["workers"] == {}
+        assert idle["drained"] is True
+
+        service.submit(mc_spec(seed=91))
+        service.submit(mc_spec(seed=92))
+        assert client.health()["queue_depth"] == 2
+        assert client.health()["drained"] is False
+
+        lease = service.queue.claim("w1")
+        assert lease is not None
+        busy = client.health()
+        assert busy["queue_depth"] == 1
+        assert busy["active_leases"] == 1
+        assert busy["drained"] is False

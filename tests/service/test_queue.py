@@ -367,3 +367,94 @@ class TestEventCounts:
         assert counts["expire"] == 1
         assert counts["dead"] == 1
         assert queue.status(fp).state == DEAD
+
+
+class TestClockSkewGrace:
+    """Remote-fleet expiry padding: a heartbeat landing marginally
+    late by the server's clock must not forfeit a live lease."""
+
+    def _queue(self, tmp_path, clock, grace: float) -> JobQueue:
+        return JobQueue(str(tmp_path / f"q-grace-{grace:g}"),
+                        lease_ttl=10.0, job_deadline=100.0,
+                        max_attempts=3, backoff_base=1.0,
+                        clock_skew_grace=grace, clock=clock)
+
+    def test_negative_grace_is_refused(self, tmp_path, clock):
+        with pytest.raises(ServiceError, match="clock_skew_grace"):
+            self._queue(tmp_path, clock, -0.5)
+
+    def test_grace_keeps_marginally_late_lease(self, tmp_path,
+                                               clock):
+        queue = self._queue(tmp_path, clock, 2.0)
+        fp = queue.submit(spec())
+        lease = queue.claim("remote-1")
+        # The server's clock says the lease expired 1s ago — within
+        # the configured skew grace, so the holder keeps it.
+        clock.advance(11.0)
+        assert queue.reap_expired() == []
+        assert queue.claim("remote-2") is None
+        # The skewed-late renewal still lands.
+        expires = queue.heartbeat(fp, lease.token)
+        assert expires == clock.now + 10.0
+        # Past expiry *plus* grace the lease is genuinely abandoned.
+        clock.advance(12.1)
+        assert queue.reap_expired() == [fp]
+        with pytest.raises(StaleLeaseError):
+            queue.heartbeat(fp, lease.token)
+
+    def test_without_grace_same_skew_forfeits(self, tmp_path, clock):
+        queue = self._queue(tmp_path, clock, 0.0)
+        fp = queue.submit(spec())
+        lease = queue.claim("remote-1")
+        clock.advance(11.0)
+        assert queue.reap_expired() == [fp]
+        with pytest.raises(StaleLeaseError):
+            queue.heartbeat(fp, lease.token)
+
+    def test_deadline_is_never_padded(self, tmp_path, clock):
+        # A job past its hard budget is hung regardless of whose
+        # clock you trust: grace must not keep it alive.
+        queue = self._queue(tmp_path, clock, 1000.0)
+        fp = queue.submit(spec())
+        queue.claim("remote-1")
+        clock.advance(101.0)  # past job_deadline=100
+        assert queue.reap_expired() == [fp]
+
+
+class TestIdempotentComplete:
+    """Content-addressed verdict + lease token make blind
+    resubmission of a complete safe, without ever double-counting."""
+
+    def test_exact_duplicate_is_absorbed(self, queue):
+        fp = queue.submit(spec())
+        lease = queue.claim("w1")
+        verdict = {"kind": "probe", "failures": 3}
+        assert queue.complete(fp, lease.token, verdict) is True
+        # The blind wire retry: same token, same canonical verdict.
+        assert queue.complete(fp, lease.token,
+                              {"failures": 3, "kind": "probe"}) \
+            is False
+        assert queue.event_counts()["complete"] == 1
+        assert queue.status(fp).verdict == verdict
+
+    def test_differing_verdict_is_refused(self, queue):
+        fp = queue.submit(spec())
+        lease = queue.claim("w1")
+        queue.complete(fp, lease.token, {"failures": 3})
+        with pytest.raises(StaleLeaseError):
+            queue.complete(fp, lease.token, {"failures": 4})
+
+    def test_superseded_token_is_refused(self, queue, clock):
+        fp = queue.submit(spec())
+        stale = queue.claim("w1")
+        clock.advance(11.0)
+        assert queue.reap_expired() == [fp]
+        fresh = queue.claim("w2")
+        assert fresh.token != stale.token
+        # The zombie's late complete is refused even though its
+        # verdict would have been recorded verbatim by the new
+        # holder — exactly-once beats at-least-once here.
+        with pytest.raises(StaleLeaseError):
+            queue.complete(fp, stale.token, {"failures": 3})
+        assert queue.complete(fp, fresh.token,
+                              {"failures": 3}) is True

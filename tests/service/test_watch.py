@@ -1,0 +1,178 @@
+"""Long-poll ``/v1/watch``: cursor resume, disconnects, restarts.
+
+The streaming replacement for poll-loop waiting.  Covers the edge
+cases the long-poll contract promises: a zero-event timeout returns
+an empty page (never hangs), a client disconnect mid-poll loses
+nothing (the cursor indexes journaled progress records), and a
+server restart mid-campaign resumes the watch exactly where it left
+off — no duplicated and no dropped events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    CertificationServer,
+    CertificationService,
+    ServiceClient,
+)
+
+from tests.service.conftest import fast_config, seq_spec
+
+
+def _client(server, **overrides) -> ServiceClient:
+    knobs = dict(timeout=5.0, max_attempts=3, backoff_base=0.01)
+    knobs.update(overrides)
+    return ServiceClient(*server.address, **knobs)
+
+
+@pytest.fixture()
+def served(tmp_path):
+    service = CertificationService(str(tmp_path / "svc"),
+                                   config=fast_config())
+    with CertificationServer(service) as server:
+        yield service, server, _client(server)
+
+
+def _raw_watch(client, fingerprint, cursor=0, wait=0.2):
+    status, answer = client._request(
+        "GET", f"/v1/watch/{fingerprint}?cursor={cursor}"
+               f"&wait={wait:g}")
+    return client._expect(status, answer)
+
+
+class TestWatchEndpoint:
+    def test_zero_event_timeout_returns_empty_page(self, served):
+        service, _server, client = served
+        spec = seq_spec(seed=61)
+        fingerprint = service.submit(spec)
+        started = time.monotonic()
+        page = _raw_watch(client, fingerprint, wait=0.3)
+        elapsed = time.monotonic() - started
+        # Held for the requested wait, then an empty page — not a
+        # hang, not an error.
+        assert elapsed >= 0.25
+        assert page["events"] == []
+        assert page["cursor"] == 0
+        assert page["terminal"] is False
+        assert page["state"] == "pending"
+
+    def test_zero_wait_answers_immediately(self, served):
+        service, _server, client = served
+        fingerprint = service.submit(seq_spec(seed=62))
+        started = time.monotonic()
+        page = _raw_watch(client, fingerprint, wait=0.0)
+        assert time.monotonic() - started < 1.0
+        assert page["events"] == []
+
+    def test_unknown_job_is_404(self, served):
+        _service, _server, client = served
+        with pytest.raises(ServiceError, match="unknown job"):
+            _raw_watch(client, "f" * 64)
+
+    def test_bad_cursor_is_400(self, served):
+        service, _server, client = served
+        fingerprint = service.submit(seq_spec(seed=63))
+        status, answer = client._request(
+            "GET", f"/v1/watch/{fingerprint}?cursor=banana&wait=0")
+        assert status == 400
+
+    def test_terminal_job_returns_terminal_page(self, served):
+        service, _server, client = served
+        spec = seq_spec(seed=64)
+        fingerprint = service.submit(spec)
+        service.worker("w1").run_until_drained()
+        events = service.queue.progress(fingerprint)
+        assert events  # sequential jobs stream per batch
+        page = _raw_watch(client, fingerprint, wait=5.0)
+        # All journaled events in one page, flagged terminal, with
+        # no long-poll delay.
+        assert page["events"] == events
+        assert page["cursor"] == len(events)
+        assert page["terminal"] is True
+        # A watch resumed past the end stays terminal and empty.
+        tail = _raw_watch(client, fingerprint,
+                          cursor=page["cursor"], wait=0.0)
+        assert tail["events"] == []
+        assert tail["terminal"] is True
+
+
+class TestClientWatch:
+    def test_streams_live_job_exactly_once(self, served):
+        service, _server, client = served
+        spec = seq_spec(seed=65)
+        fingerprint = service.submit(spec)
+        worker = threading.Thread(
+            target=service.worker("w1").run_until_drained,
+            daemon=True)
+        worker.start()
+        streamed = list(client.watch(fingerprint, timeout=30.0,
+                                     wait=0.5))
+        worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        # Exactly the journaled events, in order, exactly once.
+        assert streamed == service.queue.progress(fingerprint)
+
+    def test_timeout_on_stalled_job_is_typed(self, served):
+        service, _server, client = served
+        fingerprint = service.submit(seq_spec(seed=66))
+        with pytest.raises(ServiceError, match="timed out"):
+            list(client.watch(fingerprint, timeout=0.5, wait=0.2))
+
+    def test_disconnect_mid_poll_resumes_from_cursor(self, served):
+        service, _server, client = served
+        spec = seq_spec(seed=67)
+        fingerprint = service.submit(spec)
+        # A client whose socket timeout is far shorter than the
+        # long-poll hold: it tears the connection mid-poll on every
+        # attempt and surfaces a typed failure...
+        impatient = _client(_server, timeout=0.15, max_attempts=2)
+        with pytest.raises(ServiceError, match="failed after"):
+            _raw_watch(impatient, fingerprint, wait=5.0)
+        assert impatient.stats.network_faults >= 2
+        # ...while the server and journal are unharmed: the job
+        # drains and a fresh watch from the same cursor sees every
+        # event.
+        service.worker("w1").run_until_drained()
+        page = _raw_watch(client, fingerprint, cursor=0, wait=1.0)
+        assert page["events"] == service.queue.progress(fingerprint)
+        assert page["terminal"] is True
+
+    def test_server_restart_mid_watch_resumes_cursor(self, tmp_path):
+        service = CertificationService(str(tmp_path / "svc"),
+                                       config=fast_config())
+        spec = seq_spec(seed=68)
+        fingerprint = service.submit(spec)
+        service.worker("w1").run_until_drained()
+        events = service.queue.progress(fingerprint)
+        assert len(events) >= 1
+
+        with CertificationServer(service) as first:
+            page = _raw_watch(_client(first), fingerprint,
+                              cursor=0, wait=1.0)
+            assert page["events"] == events
+            cursor = page["cursor"]
+        # The server dies mid-campaign; a watch against the dead
+        # address fails typed, never hangs.
+        dead = ServiceClient(first.host, first.port, timeout=0.5,
+                             max_attempts=2, backoff_base=0.01)
+        with pytest.raises(ServiceError, match="failed after"):
+            _raw_watch(dead, fingerprint, cursor=cursor, wait=0.2)
+
+        # A restarted server replays the same journals: the cursor
+        # carries over exactly — nothing duplicated, nothing lost.
+        with CertificationServer(service) as second:
+            page = _raw_watch(_client(second), fingerprint,
+                              cursor=cursor, wait=0.5)
+            assert page["events"] == []
+            assert page["cursor"] == cursor
+            assert page["terminal"] is True
+            # And a from-zero watch still yields the full history.
+            replay = list(_client(second).watch(fingerprint,
+                                                timeout=10.0))
+            assert replay == events
